@@ -1,0 +1,59 @@
+// Ablation — QoZ anchor-grid density and level-wise bound tightening
+// (DESIGN.md §5): anchor stride x level gamma sweep, showing the
+// quality/ratio trade-off behind QoZ's design.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "compressors/interp_core.h"
+#include "metrics/error_stats.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const double eb = args.get_double("eb", 1e-3);
+  bench::print_bench_header(
+      "Ablation", "QoZ anchor stride x level gamma (NYX, REL 1e-3)", env);
+
+  const Field& f = bench::bench_dataset("NYX", env);
+  const double abs_eb = eb * f.value_range().span();
+
+  TextTable t({"anchor stride", "gamma", "ratio", "PSNR (dB)",
+               "max rel err"});
+  for (std::size_t stride : {std::size_t{16}, std::size_t{64},
+                             std::size_t{256}, std::size_t{0}}) {
+    for (double gamma : {1.0, 0.7, 0.5}) {
+      InterpConfig config;
+      config.anchor_stride = stride;
+      config.level_gamma = gamma;
+      const InterpEncoding enc = interp_compress(f, abs_eb, config);
+      const Bytes payload = interp_payload_encode(config, enc);
+
+      BlobHeader header;
+      header.codec = "QoZ";
+      header.dtype = f.dtype();
+      header.dims = f.shape().dims_vector();
+      header.abs_error_bound = abs_eb;
+      const Field recon = interp_decompress(header, config, enc.codes,
+                                            enc.anchors, enc.unpred);
+      const auto st = compute_error_stats(f, recon);
+      t.add_row({stride == 0 ? "auto" : std::to_string(stride),
+                 fmt_double(gamma, 1),
+                 fmt_double(compression_ratio(f.size_bytes(),
+                                              payload.size()),
+                            2),
+                 fmt_double(st.psnr_db, 2),
+                 fmt_double(st.max_rel_error, 8)});
+    }
+    t.add_rule();
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: tighter coarse-level bounds (gamma < 1) raise PSNR at a\n"
+      "small ratio cost; denser anchors stop error propagation the same\n"
+      "way but pay exact-storage overhead — the two QoZ levers.\n");
+  return 0;
+}

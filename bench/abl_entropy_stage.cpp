@@ -1,0 +1,56 @@
+// Ablation — entropy-stage choices for the SZ-family code stream
+// (DESIGN.md §5.1/§5.2): raw 16-bit codes vs Huffman vs Huffman + the
+// deflate-class lossless backend ("Huffman + Zstd" in the papers).
+// Quantifies what each stage buys per data set and bound.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "codec/huffman.h"
+#include "codec/lz77.h"
+#include "common/timer.h"
+#include "compressors/interp_core.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  bench::print_bench_header(
+      "Ablation", "SZ-family entropy stage: raw vs Huffman vs Huffman+LZ",
+      env);
+
+  TextTable t({"Dataset", "REL", "codes", "raw16 (MB)", "huff (MB)",
+               "huff+lz (MB)", "huff t(s)", "lz t(s)"});
+  for (const std::string& dataset : {"CESM", "NYX"}) {
+    const Field& f = bench::bench_dataset(dataset, env);
+    const auto range = f.value_range();
+    for (double eb : {1e-2, 1e-4}) {
+      InterpConfig config;
+      const InterpEncoding enc =
+          interp_compress(f, eb * range.span(), config);
+
+      const double raw_mb =
+          2.0 * static_cast<double>(enc.codes.size()) / 1e6;
+      Bytes huff;
+      const double t_huff = timed_s(
+          [&] { huff = huffman_encode(enc.codes, enc.alphabet_size); });
+      Bytes lz;
+      const double t_lz = timed_s([&] { lz = lz_compress(huff); });
+
+      t.add_row({dataset, fmt_error_bound(eb),
+                 std::to_string(enc.codes.size()), fmt_double(raw_mb, 2),
+                 fmt_double(huff.size() / 1e6, 2),
+                 fmt_double(lz.size() / 1e6, 2), fmt_double(t_huff, 3),
+                 fmt_double(t_lz, 3)});
+    }
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: Huffman does the heavy lifting (codes cluster near the\n"
+      "zero-residual center); the LZ pass adds a modest extra squeeze on\n"
+      "structured code streams for extra time — the design point SZ2/SZ3\n"
+      "chose (Huffman + Zstd) and this library mirrors.\n");
+  return 0;
+}

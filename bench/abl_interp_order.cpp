@@ -1,0 +1,59 @@
+// Ablation — interpolation order in the SZ3/QoZ engine (DESIGN.md §5.3):
+// cubic (4-point) vs linear (2-point) prediction, per data set and bound.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "compressors/interp_core.h"
+#include "metrics/error_stats.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  bench::print_bench_header(
+      "Ablation", "SZ3 interpolation order: cubic vs linear", env);
+
+  TextTable t({"Dataset", "REL", "order", "ratio", "PSNR (dB)",
+               "compress (s)"});
+  for (const std::string& dataset : {"CESM", "NYX", "S3D"}) {
+    const Field& f = bench::bench_dataset(dataset, env);
+    const auto range = f.value_range();
+    for (double eb : {1e-2, 1e-4}) {
+      for (bool cubic : {true, false}) {
+        InterpConfig config;
+        config.cubic = cubic;
+        const double abs_eb = eb * range.span();
+
+        InterpEncoding enc;
+        const double t_comp =
+            timed_s([&] { enc = interp_compress(f, abs_eb, config); });
+        const Bytes payload = interp_payload_encode(config, enc);
+
+        BlobHeader header;
+        header.codec = "SZ3";
+        header.dtype = f.dtype();
+        header.dims = f.shape().dims_vector();
+        header.abs_error_bound = abs_eb;
+        const Field recon = interp_decompress(
+            header, config, enc.codes, enc.anchors, enc.unpred);
+        const auto st = compute_error_stats(f, recon);
+
+        t.add_row({dataset, fmt_error_bound(eb), cubic ? "cubic" : "linear",
+                   fmt_double(compression_ratio(f.size_bytes(),
+                                                payload.size()),
+                              2),
+                   fmt_double(st.psnr_db, 2), fmt_double(t_comp, 3)});
+      }
+    }
+    t.add_rule();
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: cubic interpolation buys a better ratio on smooth fields\n"
+      "for a small time overhead — SZ3's dynamic-spline design choice.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Ablation — PFS striping and the Fig. 12 contention knee (DESIGN.md §5.4):
+// sweeps stripe_count and client counts to show the 256->512-core jump of
+// uncompressed I/O is robust across striping choices.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "io/pfs.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const std::size_t bytes =
+      static_cast<std::size_t>(args.get_int("mb", 32)) << 20;
+  bench::print_bench_header(
+      "Ablation", "PFS stripe count vs contention (per-client write time)",
+      env);
+
+  const std::vector<int> stripe_counts = {1, 4, 8, 16};
+  const std::vector<int> clients = {1, 16, 64, 128, 256, 512};
+
+  TextTable t({"stripe_count", "1 cli (s)", "16 (s)", "64 (s)", "128 (s)",
+               "256 (s)", "512 (s)", "knee 512/256"});
+  for (int sc : stripe_counts) {
+    PfsConfig cfg;
+    cfg.stripe_count = sc;
+    PfsSimulator pfs(cfg);
+    std::vector<std::string> row = {std::to_string(sc)};
+    double t256 = 0, t512 = 0;
+    for (int c : clients) {
+      const double s = pfs.transfer_seconds(bytes, c);
+      row.push_back(fmt_double(s, 4));
+      if (c == 256) t256 = s;
+      if (c == 512) t512 = s;
+    }
+    row.push_back(fmt_double(t512 / t256, 2));
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nReading: once aggregate demand exceeds OST capacity (hundreds of\n"
+      "clients), per-client time doubles from 256 to 512 clients for every\n"
+      "stripe width — the Fig. 12 knee is a capacity effect, not a\n"
+      "striping artifact. Wider stripes only help the low-contention end.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_util.h"
+
+#include "compressors/compressor.h"
+#include "energy/powercap_monitor.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace eblcio::bench {
+
+const Field& bench_dataset(const std::string& name, const BenchEnv& env) {
+  static std::map<std::string, Field> cache;
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  const std::string key =
+      name + "@" + fmt_double(env.scale, 3) + "#" + std::to_string(env.seed);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  const DatasetSpec& spec = dataset_spec(name);
+  const double working_scale =
+      std::min(1.0, env.scale / spec.default_shrink);
+  Field f =
+      generate_dataset_dims(name, scaled_dims(spec, working_scale), env.seed);
+  f.set_name(spec.name);
+  auto [pos, inserted] = cache.emplace(key, std::move(f));
+  return pos->second;
+}
+
+const std::vector<double>& paper_bounds() {
+  static const std::vector<double> kBounds = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+  return kBounds;
+}
+
+const std::vector<std::string>& paper_datasets() {
+  static const std::vector<std::string> kSets = {"CESM", "HACC", "NYX",
+                                                 "S3D"};
+  return kSets;
+}
+
+void print_bench_header(const std::string& id, const std::string& title,
+                        const BenchEnv& env) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("scale=%.3g reps=%d seed=%llu\n", env.scale, env.reps,
+              static_cast<unsigned long long>(env.seed));
+  std::printf("================================================================\n");
+}
+
+CompressionRecord measure_compression(const Field& field,
+                                      const PipelineConfig& config,
+                                      const BenchEnv& env) {
+  // Host kernel measurements are independent of the simulated platform, so
+  // they are memoized per (field, codec, bound, threads): the three-CPU
+  // sweeps of Figs. 7/10 derive all platform energies from one measurement,
+  // exactly as the energy model intends.
+  static std::map<std::string, CompressionRecord> cache;
+  static std::mutex mu;
+  const std::string key = field.name() + "|" +
+                          fmt_dims(field.shape().dims_vector()) + "|" +
+                          config.codec + "|" +
+                          fmt_double(config.error_bound, 12) + "|" +
+                          std::to_string(config.threads);
+  CompressionRecord host_rec;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache.find(key);
+    if (it != cache.end()) {
+      host_rec = it->second;
+    } else {
+      // Repeat per the paper's protocol on the host timings; keep the run
+      // with the smallest host time (least noisy on a shared machine).
+      // Quality and size are deterministic across runs.
+      double best_time = 1e300;
+      const int runs = std::max(1, env.reps);
+      for (int i = 0; i < runs; ++i) {
+        CompressionRecord rec = run_compression(field, config);
+        const double t = rec.host_compress_s + rec.host_decompress_s;
+        if (t < best_time) {
+          best_time = t;
+          host_rec = rec;
+        }
+      }
+      cache[key] = host_rec;
+    }
+  }
+  // Re-derive platform time/energy for the requested CPU.
+  const CpuModel& cpu = cpu_model(config.cpu);
+  PowercapMonitor monitor(cpu);
+  Compressor& comp = compressor(config.codec);
+  const int decomp_threads =
+      comp.caps().parallel_decompress ? config.threads : 1;
+  const auto ec = monitor.record_compute("compress", host_rec.host_compress_s,
+                                         config.threads);
+  const auto ed = monitor.record_compute(
+      "decompress", host_rec.host_decompress_s, decomp_threads);
+  host_rec.compress_s = ec.seconds;
+  host_rec.compress_j = ec.joules;
+  host_rec.decompress_s = ed.seconds;
+  host_rec.decompress_j = ed.joules;
+  return host_rec;
+}
+
+}  // namespace eblcio::bench

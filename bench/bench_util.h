@@ -1,0 +1,68 @@
+// Shared infrastructure for the paper-reproduction bench binaries.
+//
+// Every bench binary regenerates one table or figure of the paper. They
+// share: dataset construction at a bench-friendly scale (--scale raises it
+// toward paper size), the repetition protocol, and table output. Flags:
+//   --scale=<f>   multiply default working dimensions (default 1.0; the
+//                 default working size is the catalogue's shrunken size)
+//   --reps=<n>    max repetitions per measurement (default 1; paper used 25)
+//   --seed=<n>    generator seed
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/field.h"
+#include "common/format.h"
+#include "common/table.h"
+#include "core/experiment.h"
+#include "core/pipeline.h"
+#include "data/dataset.h"
+
+namespace eblcio::bench {
+
+struct BenchEnv {
+  double scale = 1.0;
+  int reps = 1;
+  std::uint64_t seed = 42;
+
+  static BenchEnv from_cli(const CliArgs& args) {
+    BenchEnv env;
+    env.scale = args.get_double("scale", 1.0);
+    env.reps = args.get_int("reps", 1);
+    env.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    return env;
+  }
+
+  RepeatConfig repeat_config() const {
+    RepeatConfig cfg;
+    cfg.min_runs = std::min(2, reps);
+    cfg.max_runs = std::max(reps, 2);
+    return cfg;
+  }
+};
+
+// Generates (and caches per-process) a data set at env.scale times its
+// default working size.
+const Field& bench_dataset(const std::string& name, const BenchEnv& env);
+
+// The paper's error-bound sweep (Figs. 5/7/11): 1e-1 .. 1e-5.
+const std::vector<double>& paper_bounds();
+
+// The four Table-II data sets in figure order.
+const std::vector<std::string>& paper_datasets();
+
+// Standard header line for a bench binary.
+void print_bench_header(const std::string& id, const std::string& title,
+                        const BenchEnv& env);
+
+// Repeated measurement of a compression pipeline cell, reusing the
+// pipeline runner; returns mean values over env.reps runs.
+CompressionRecord measure_compression(const Field& field,
+                                      const PipelineConfig& config,
+                                      const BenchEnv& env);
+
+}  // namespace eblcio::bench

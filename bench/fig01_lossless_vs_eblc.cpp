@@ -1,0 +1,59 @@
+// Fig. 1 — Lossless versus EBLC compression ratios for QMCPack, ISABEL,
+// CESM-ATM and EXAFEL. Lossless: zstd-class, C-Blosc2, fpzip, FPC.
+// EBLC: SZ2 and ZFP at a representative value-range relative bound.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+
+using namespace eblcio;
+
+namespace {
+
+double ratio_for(const Field& f, const std::string& codec,
+                 const CompressOptions& opt) {
+  return compression_ratio(f.size_bytes(),
+                           compressor(codec).compress(f, opt).size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const double eblc_bound = args.get_double("eb", 1e-2);
+  bench::print_bench_header(
+      "Fig. 1", "Lossless versus EBLC compression ratios (SDRBench sets)",
+      env);
+
+  const std::vector<std::string> datasets = {"QMCPack", "ISABEL", "CESM-ATM",
+                                             "EXAFEL"};
+
+  CompressOptions lossless;
+  lossless.mode = BoundMode::kLossless;
+  CompressOptions eblc;
+  eblc.mode = BoundMode::kValueRangeRel;
+  eblc.error_bound = eblc_bound;
+
+  TextTable t({"Dataset", "zstd", "C-Blosc2", "fpzip", "FPC",
+               "SZ2 (EBLC)", "ZFP (EBLC)"});
+  for (const std::string& name : datasets) {
+    const Field& f = bench::bench_dataset(name, env);
+    t.add_row({name, fmt_double(ratio_for(f, "zstd", lossless), 2),
+               fmt_double(ratio_for(f, "C-Blosc2", lossless), 2),
+               fmt_double(ratio_for(f, "fpzip", lossless), 2),
+               fmt_double(ratio_for(f, "FPC", lossless), 2),
+               fmt_double(ratio_for(f, "SZ2", eblc), 2),
+               fmt_double(ratio_for(f, "ZFP", eblc), 2)});
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper Fig. 1): lossless compressors achieve\n"
+      "insignificant ratios (~1-3x) on floating-point fields, while the\n"
+      "EBLCs reach an order of magnitude or more at eb=%s.\n",
+      fmt_error_bound(eblc_bound).c_str());
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Fig. 12 — Energy of compressing and writing NYX with HDF5 on Intel Xeon
+// Platinum 8160 nodes across MPI scales (16..512 cores), REL bound 1e-3,
+// versus writing the original data. Stacked: compression energy +
+// write energy.
+//
+// Each rank's compression kernel is really measured once per codec; the
+// rank fleet then runs through simmpi, every rank advancing its simulated
+// clock by its compute time and by the PFS write time under N-way
+// contention — the mechanism behind the paper's 256 -> 512 core jump for
+// uncompressed I/O.
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "bench_util.h"
+#include "compressors/compressor.h"
+#include "energy/powercap_monitor.h"
+#include "io/io_tool.h"
+#include "parallel/simmpi.h"
+
+using namespace eblcio;
+
+namespace {
+
+struct ScaleResult {
+  double compress_j = 0.0;
+  double write_j = 0.0;
+  double wall_s = 0.0;
+};
+
+// Runs `cores` ranks; each charges `comp_s` of compute (0 for the Original
+// baseline) then writes `bytes` to the shared PFS under full contention.
+ScaleResult run_scale(int cores, double comp_s, std::size_t bytes,
+                      const CpuModel& cpu) {
+  PfsSimulator pfs;
+  std::mutex mu;
+  double max_comp_s = 0.0, max_write_s = 0.0, wall = 0.0;
+
+  SimMpiWorld::run(cores, [&](Communicator& comm) {
+    // Small deterministic load imbalance, as on a real machine.
+    const double jitter =
+        1.0 + 0.05 * static_cast<double>(comm.rank() % 7) / 7.0;
+    const double my_comp = comp_s * jitter;
+    comm.advance_time(my_comp);
+    const double t_before = comm.sim_time();
+    const double write_s = pfs.transfer_seconds(bytes, comm.size());
+    comm.advance_time(write_s);
+    comm.barrier();
+    std::lock_guard<std::mutex> lock(mu);
+    max_comp_s = std::max(max_comp_s, t_before);
+    max_write_s = std::max(max_write_s, write_s);
+    wall = std::max(wall, comm.sim_time());
+  });
+
+  // Fleet-level energy: ranks fill nodes with cpu.cores cores each; during
+  // compression every occupied core draws active power on top of the
+  // nodes' idle floor, and during the write the nodes draw I/O-wait power.
+  const int nodes = (cores + cpu.cores - 1) / cpu.cores;
+  const double fleet_idle_w = nodes * cpu.packages * cpu.idle_w;
+  const double fleet_active_w =
+      std::min(fleet_idle_w + cores * cpu.active_core_w,
+               static_cast<double>(nodes) * cpu.packages * cpu.tdp_w);
+  ScaleResult r;
+  r.compress_j = fleet_active_w * max_comp_s;
+  r.write_j = nodes * cpu.io_power_w() * max_write_s;
+  r.wall_s = wall;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const double eb = args.get_double("eb", 1e-3);
+  bench::print_bench_header(
+      "Fig. 12",
+      "Multi-node compress+write energy, NYX, HDF5, Platinum 8160", env);
+
+  const CpuModel& cpu = cpu_model("8160");
+  const Field& f = bench::bench_dataset("NYX", env);
+  const std::vector<std::string> codecs = {"SZ2", "SZ3", "ZFP", "QoZ"};
+  const std::vector<int> core_counts = {16, 32, 64, 128, 256, 512};
+
+  // One real compression measurement per codec; per-rank compute time is
+  // the platform-dilated kernel time.
+  struct CodecPoint {
+    double comp_s;
+    std::size_t bytes;
+  };
+  std::map<std::string, CodecPoint> points;
+  for (const std::string& codec : codecs) {
+    PipelineConfig cfg;
+    cfg.codec = codec;
+    cfg.error_bound = eb;
+    cfg.cpu = cpu.name;
+    Bytes blob;
+    CompressionRecord rec = run_compression(f, cfg, &blob);
+    points[codec] = {rec.compress_s, blob.size()};
+  }
+
+  TextTable t({"Cores", "SZ2 c+w (J)", "SZ3 c+w (J)", "ZFP c+w (J)",
+               "QoZ c+w (J)", "Original w (J)"});
+  for (int cores : core_counts) {
+    std::vector<std::string> row = {std::to_string(cores)};
+    for (const std::string& codec : codecs) {
+      const auto& p = points[codec];
+      const ScaleResult r = run_scale(cores, p.comp_s, p.bytes, cpu);
+      row.push_back(fmt_double(r.compress_j, 0) + "+" +
+                    fmt_double(r.write_j, 0));
+    }
+    const ScaleResult orig = run_scale(cores, 0.0, f.size_bytes(), cpu);
+    row.push_back(fmt_double(orig.write_j, 0));
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper Fig. 12): for the compressed runs the write\n"
+      "energy is a small fraction of the compression energy; total energy\n"
+      "grows sub-linearly with core count; the uncompressed baseline jumps\n"
+      "sharply from 256 to 512 cores as the PFS saturates, and at 512\n"
+      "cores compress+write beats writing the original (~25%% saving).\n");
+  return 0;
+}

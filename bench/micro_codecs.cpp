@@ -1,0 +1,129 @@
+// Google-benchmark micro-kernels for the codec substrate: bitstream,
+// Huffman, LZ77, and single-codec compression throughput on a fixed field.
+// These are the building-block numbers behind every figure bench.
+#include <benchmark/benchmark.h>
+
+#include "codec/bitstream.h"
+#include "codec/huffman.h"
+#include "codec/lz77.h"
+#include "common/rng.h"
+#include "compressors/compressor.h"
+#include "data/dataset.h"
+
+namespace {
+
+using namespace eblcio;
+
+void BM_BitWriterPutBits(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Rng rng(1);
+  std::vector<std::uint64_t> values(1 << 16);
+  for (auto& v : values) v = rng.next_u64();
+  for (auto _ : state) {
+    BitWriter bw;
+    for (std::uint64_t v : values) bw.put_bits(v, width);
+    benchmark::DoNotOptimize(bw.take());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()) * width /
+                          8);
+}
+BENCHMARK(BM_BitWriterPutBits)->Arg(7)->Arg(16)->Arg(48);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::uint32_t> syms(1 << 18);
+  for (auto& s : syms) {
+    const double g = rng.normal() * 12.0;
+    s = static_cast<std::uint32_t>(
+        std::clamp(32768.0 + g, 0.0, 65536.0));
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(huffman_encode(syms, 65537));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(syms.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::uint32_t> syms(1 << 18);
+  for (auto& s : syms) {
+    const double g = rng.normal() * 12.0;
+    s = static_cast<std::uint32_t>(
+        std::clamp(32768.0 + g, 0.0, 65536.0));
+  }
+  const Bytes blob = huffman_encode(syms, 65537);
+  for (auto _ : state) benchmark::DoNotOptimize(huffman_decode(blob));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(syms.size()));
+}
+BENCHMARK(BM_HuffmanDecode);
+
+Bytes lz_corpus() {
+  Rng rng(3);
+  Bytes data;
+  for (int seg = 0; seg < 64; ++seg) {
+    const std::size_t len = 1024 + rng.next_below(4096);
+    if (seg % 3 == 0) {
+      data.insert(data.end(), len,
+                  static_cast<std::byte>(rng.next_below(256)));
+    } else {
+      for (std::size_t i = 0; i < len; ++i)
+        data.push_back(static_cast<std::byte>(rng.next_below(16) * 17));
+    }
+  }
+  return data;
+}
+
+void BM_LzCompress(benchmark::State& state) {
+  const Bytes data = lz_corpus();
+  for (auto _ : state) benchmark::DoNotOptimize(lz_compress(data));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_LzDecompress(benchmark::State& state) {
+  const Bytes blob = lz_compress(lz_corpus());
+  for (auto _ : state) benchmark::DoNotOptimize(lz_decompress(blob));
+}
+BENCHMARK(BM_LzDecompress);
+
+const Field& micro_field() {
+  static const Field f = generate_dataset_dims("NYX", {64, 64, 64}, 7);
+  return f;
+}
+
+void BM_CompressCodec(benchmark::State& state, const std::string& codec) {
+  const Field& f = micro_field();
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compressor(codec).compress(f, opt));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK_CAPTURE(BM_CompressCodec, sz2, "SZ2");
+BENCHMARK_CAPTURE(BM_CompressCodec, sz3, "SZ3");
+BENCHMARK_CAPTURE(BM_CompressCodec, zfp, "ZFP");
+BENCHMARK_CAPTURE(BM_CompressCodec, qoz, "QoZ");
+BENCHMARK_CAPTURE(BM_CompressCodec, szx, "SZx");
+
+void BM_DecompressCodec(benchmark::State& state, const std::string& codec) {
+  const Field& f = micro_field();
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  const Bytes blob = compressor(codec).compress(f, opt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compressor(codec).decompress(blob, 1));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK_CAPTURE(BM_DecompressCodec, sz3, "SZ3");
+BENCHMARK_CAPTURE(BM_DecompressCodec, zfp, "ZFP");
+BENCHMARK_CAPTURE(BM_DecompressCodec, szx, "SZx");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table III — Select EBLC Statistics (compression ratio and PSNR) for
+// SZ3 / ZFP / SZx on NYX, HACC and S3D at REL bounds 1e-1, 1e-3, 1e-5.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  bench::print_bench_header(
+      "Table III", "Select EBLC statistics (CR and PSNR)", env);
+
+  const std::vector<std::string> datasets = {"NYX", "HACC", "S3D"};
+  const std::vector<double> bounds = {1e-1, 1e-3, 1e-5};
+  const std::vector<std::string> codecs = {"SZ3", "ZFP", "SZx"};
+
+  TextTable t({"Data Set", "REL", "SZ3 CR", "SZ3 PSNR", "ZFP CR",
+               "ZFP PSNR", "SZx CR", "SZx PSNR"});
+  for (const std::string& dataset : datasets) {
+    const Field& f = bench::bench_dataset(dataset, env);
+    bool first = true;
+    for (double eb : bounds) {
+      std::vector<std::string> row = {first ? dataset : "",
+                                      fmt_error_bound(eb)};
+      first = false;
+      for (const std::string& codec : codecs) {
+        PipelineConfig cfg;
+        cfg.codec = codec;
+        cfg.error_bound = eb;
+        const auto rec = bench::measure_compression(f, cfg, env);
+        row.push_back(fmt_double(rec.ratio, 2));
+        row.push_back(fmt_double(rec.quality.psnr_db, 2));
+      }
+      t.add_row(row);
+    }
+    t.add_rule();
+  }
+  t.print(std::cout);
+
+  std::printf(
+      "\nExpected shape (paper Tab. III): SZ3 achieves by far the highest\n"
+      "ratios at loose bounds (NYX 1E-01 is extreme: ~1e5 in the paper);\n"
+      "SZx trades ratio for speed (lowest CR); HACC compresses worst of\n"
+      "the three sets at tight bounds (CR -> ~2-3); PSNR rises ~20 dB per\n"
+      "decade of bound for every codec.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// multinode_dump — the Sec. IV-E experiment as a runnable program: R ranks
+// (threads under simmpi) each compress their copy of a NYX field and write
+// it to the shared Lustre-class PFS, with per-rank simulated clocks and a
+// node-level energy ledger. Compare against the same fleet writing
+// uncompressed data.
+//
+//   ./examples/multinode_dump [--ranks=16] [--codec=SZ3] [--eb=1e-3]
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+#include "common/cli.h"
+#include "common/format.h"
+#include "common/timer.h"
+#include "compressors/compressor.h"
+#include "data/dataset.h"
+#include "energy/cpu_model.h"
+#include "io/io_tool.h"
+#include "metrics/error_stats.h"
+#include "parallel/simmpi.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const int ranks = args.get_int("ranks", 64);
+  const std::string codec = args.get("codec", "SZ3");
+  const double eb = args.get_double("eb", 1e-3);
+  const CpuModel& cpu = cpu_model("8160");
+
+  const Field field = generate_dataset_dims("NYX", {48, 48, 48}, 7);
+  std::printf("multi-node dump: %d ranks x %s of NYX, %s @ eb=%s, %s\n\n",
+              ranks, human_bytes(field.size_bytes()).c_str(), codec.c_str(),
+              fmt_error_bound(eb).c_str(), cpu.name.c_str());
+
+  PfsSimulator pfs;
+  std::mutex pfs_mu;
+  double fleet_comp_s = 0.0, fleet_write_s = 0.0, fleet_wall_s = 0.0;
+  std::size_t blob_bytes = 0;
+
+  SimMpiWorld::run(ranks, [&](Communicator& comm) {
+    // Every rank really compresses its copy of the field.
+    CompressOptions opt;
+    opt.error_bound = eb;
+    WallTimer timer;
+    const Bytes blob = compressor(codec).compress(field, opt);
+    const double host_comp_s = timer.elapsed_s();
+    const double comp_s = host_comp_s / cpu.speed_factor;
+    comm.advance_time(comp_s);
+
+    // Concurrent write to the shared PFS (simmpi ranks contend R-wide).
+    double write_s = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(pfs_mu);
+      IoTool& tool = io_tool("HDF5");
+      const IoCost cost = tool.write_blob(
+          pfs, "/dump/rank" + std::to_string(comm.rank()), field.name(),
+          blob, comm.size());
+      write_s = cost.total_seconds();
+    }
+    comm.advance_time(write_s);
+
+    // Reduce the fleet's phase maxima to rank 0 for the ledger.
+    const double max_comp = comm.allreduce_max(comp_s);
+    const double max_write = comm.allreduce_max(write_s);
+    comm.barrier();
+    if (comm.rank() == 0) {
+      fleet_comp_s = max_comp;
+      fleet_write_s = max_write;
+      fleet_wall_s = comm.sim_time();
+      blob_bytes = blob.size();
+    }
+  });
+
+  const int nodes = (ranks + cpu.cores - 1) / cpu.cores;
+  const int cores_per_node = std::min(ranks, cpu.cores);
+  const double comp_j =
+      nodes * cpu.node_power_w(cores_per_node) * fleet_comp_s;
+  const double write_j = nodes * cpu.io_power_w() * fleet_write_s;
+
+  // Baseline: the same fleet writing uncompressed copies.
+  const double orig_write_s =
+      pfs.transfer_seconds(field.size_bytes(), ranks);
+  const double orig_j = nodes * cpu.io_power_w() * orig_write_s;
+
+  std::printf("per-rank blob: %s (ratio %.1fx)\n",
+              human_bytes(blob_bytes).c_str(),
+              compression_ratio(field.size_bytes(), blob_bytes));
+  std::printf("fleet wall time (simulated): %s\n",
+              fmt_seconds(fleet_wall_s).c_str());
+  std::printf("energy: compression %.2f J + compressed writes %.2f J = %.2f J\n",
+              comp_j, write_j, comp_j + write_j);
+  std::printf("        uncompressed writes %.2f J\n", orig_j);
+  std::printf("=> %s\n",
+              comp_j + write_j < orig_j
+                  ? "compress-then-write wins (the paper's ~25% multi-node saving)"
+                  : "uncompressed wins at this rank count / data size");
+
+  // Spot-check one rank's dump end to end.
+  const Bytes back =
+      io_tool("HDF5").read_blob(pfs, "/dump/rank0", field.name());
+  const Field restored = decompress_any(back);
+  std::printf("rank0 dump verified within bound: %s\n",
+              check_value_range_bound(field, restored, eb) ? "yes" : "NO");
+  return 0;
+}

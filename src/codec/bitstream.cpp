@@ -1,0 +1,26 @@
+#include "codec/bitstream.h"
+
+#include <cstring>
+
+namespace eblcio {
+
+Bytes BitWriter::take() {
+  const std::size_t total_bits = bit_count();
+  const std::size_t total_bytes = (total_bits + 7) / 8;
+  Bytes out(total_bytes);
+  std::size_t off = 0;
+  for (std::uint64_t w : words_) {
+    std::memcpy(out.data() + off, &w, 8);
+    off += 8;
+  }
+  if (nbits_ > 0) {
+    const std::size_t tail = total_bytes - off;
+    std::memcpy(out.data() + off, &acc_, tail);
+  }
+  words_.clear();
+  acc_ = 0;
+  nbits_ = 0;
+  return out;
+}
+
+}  // namespace eblcio

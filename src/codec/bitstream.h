@@ -1,0 +1,103 @@
+// Bit-granular stream I/O.
+//
+// All entropy stages in the library (Huffman, ZFP's embedded bit-plane
+// coder, SZx's truncated fixed-point payloads) read and write through this
+// pair. Bits are packed LSB-first into little-endian 64-bit words, the same
+// convention as the reference ZFP stream, so sub-bit-budget truncation
+// behaves identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace eblcio {
+
+class BitWriter {
+ public:
+  // Appends a single bit (the low bit of `bit`).
+  void put_bit(std::uint32_t bit) {
+    acc_ |= static_cast<std::uint64_t>(bit & 1u) << nbits_;
+    if (++nbits_ == 64) {
+      words_.push_back(acc_);
+      acc_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+  // Appends the low `n` bits of `v`, LSB first. n in [0, 64].
+  void put_bits(std::uint64_t v, int n) {
+    EBLCIO_CHECK_ARG(n >= 0 && n <= 64, "bit count out of range");
+    if (n == 0) return;
+    if (n < 64) v &= (std::uint64_t{1} << n) - 1;
+    acc_ |= v << nbits_;
+    const int fit = 64 - nbits_;
+    if (n >= fit) {
+      words_.push_back(acc_);
+      acc_ = (fit == 64) ? 0 : (v >> fit);
+      nbits_ = n - fit;
+    } else {
+      nbits_ += n;
+    }
+  }
+
+  // Total bits written so far.
+  std::size_t bit_count() const { return words_.size() * 64 + nbits_; }
+
+  // Finalizes and returns the packed bytes (padded with zero bits).
+  Bytes take();
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
+
+  // Reads one bit; returns 0 past end-of-stream (matching ZFP's zero-padded
+  // stream semantics, which the embedded coder relies on).
+  std::uint32_t get_bit() {
+    if (pos_ >= data_.size() * 8) {
+      ++pos_;
+      return 0;
+    }
+    const std::size_t byte = pos_ >> 3;
+    const int bit = static_cast<int>(pos_ & 7);
+    ++pos_;
+    return (static_cast<std::uint32_t>(data_[byte]) >> bit) & 1u;
+  }
+
+  // Reads `n` bits LSB-first. Past-end bits read as zero.
+  std::uint64_t get_bits(int n) {
+    EBLCIO_CHECK_ARG(n >= 0 && n <= 64, "bit count out of range");
+    std::uint64_t v = 0;
+    int got = 0;
+    // Fast path: whole bytes while fully inside the buffer.
+    while (n - got >= 8 && (pos_ & 7) == 0 && (pos_ >> 3) + 1 <= data_.size()) {
+      v |= static_cast<std::uint64_t>(data_[pos_ >> 3]) << got;
+      pos_ += 8;
+      got += 8;
+    }
+    for (; got < n; ++got)
+      v |= static_cast<std::uint64_t>(get_bit()) << got;
+    if (n < 64) v &= (std::uint64_t{1} << n) - 1;
+    return v;
+  }
+
+  std::size_t bit_pos() const { return pos_; }
+  // True once reads have consumed (or run past) all real payload bits.
+  bool exhausted() const { return pos_ >= data_.size() * 8; }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,271 @@
+#include "codec/huffman.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <queue>
+
+#include "codec/bitstream.h"
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+// Reverses the low `n` bits of `code` so an MSB-first canonical code can be
+// emitted through the LSB-first BitWriter.
+std::uint64_t reverse_bits(std::uint64_t code, int n) {
+  std::uint64_t r = 0;
+  for (int i = 0; i < n; ++i) {
+    r = (r << 1) | (code & 1);
+    code >>= 1;
+  }
+  return r;
+}
+
+struct TreeNode {
+  std::uint64_t freq;
+  std::int32_t left;    // -1 for leaf
+  std::int32_t right;
+  std::uint32_t symbol; // valid for leaves
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs) {
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  std::vector<std::uint32_t> present;
+  for (std::size_t s = 0; s < n; ++s)
+    if (freqs[s] > 0) present.push_back(static_cast<std::uint32_t>(s));
+  if (present.empty()) return lengths;
+  if (present.size() == 1) {
+    lengths[present[0]] = 1;
+    return lengths;
+  }
+
+  // Standard two-queue Huffman tree construction.
+  std::vector<TreeNode> nodes;
+  nodes.reserve(present.size() * 2);
+  using Entry = std::pair<std::uint64_t, std::int32_t>;  // (freq, node index)
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (std::uint32_t s : present) {
+    nodes.push_back({freqs[s], -1, -1, s});
+    heap.emplace(freqs[s], static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  while (heap.size() > 1) {
+    const auto a = heap.top();
+    heap.pop();
+    const auto b = heap.top();
+    heap.pop();
+    nodes.push_back({a.first + b.first, a.second, b.second, 0});
+    heap.emplace(a.first + b.first,
+                 static_cast<std::int32_t>(nodes.size() - 1));
+  }
+
+  // Depth-first traversal to assign depths.
+  struct Item {
+    std::int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = nodes[it.node];
+    if (nd.left < 0) {
+      lengths[nd.symbol] = static_cast<std::uint8_t>(std::max(it.depth, 1));
+    } else {
+      stack.push_back({nd.left, it.depth + 1});
+      stack.push_back({nd.right, it.depth + 1});
+    }
+  }
+
+  // Length-limit with a Kraft-sum fix-up: clamp overlong codes, then demote
+  // codes (increase their length) until the Kraft inequality holds again.
+  bool overflow = false;
+  for (std::uint32_t s : present)
+    if (lengths[s] > kMaxHuffmanBits) {
+      lengths[s] = kMaxHuffmanBits;
+      overflow = true;
+    }
+  if (overflow) {
+    auto kraft = [&]() {
+      long double k = 0;
+      for (std::uint32_t s : present)
+        k += std::pow(2.0L, -static_cast<int>(lengths[s]));
+      return k;
+    };
+    // Sort symbols by ascending frequency so the cheapest codes get demoted.
+    std::vector<std::uint32_t> order = present;
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+      return freqs[a] < freqs[b];
+    });
+    std::size_t i = 0;
+    while (kraft() > 1.0L) {
+      std::uint32_t s = order[i % order.size()];
+      if (lengths[s] < kMaxHuffmanBits) ++lengths[s];
+      ++i;
+    }
+  }
+  return lengths;
+}
+
+namespace {
+
+// Canonical code assignment: symbols ordered by (length, symbol).
+struct CanonicalCodes {
+  std::vector<std::uint8_t> lengths;
+  std::vector<std::uint64_t> codes;  // MSB-first code values
+};
+
+CanonicalCodes assign_canonical(std::vector<std::uint8_t> lengths) {
+  CanonicalCodes cc;
+  cc.codes.assign(lengths.size(), 0);
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < lengths.size(); ++s)
+    if (lengths[s] > 0) order.push_back(s);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+  std::uint64_t code = 0;
+  int prev_len = 0;
+  for (std::uint32_t s : order) {
+    code <<= (lengths[s] - prev_len);
+    cc.codes[s] = code;
+    ++code;
+    prev_len = lengths[s];
+  }
+  cc.lengths = std::move(lengths);
+  return cc;
+}
+
+void write_lengths_rle(Bytes& out, std::span<const std::uint8_t> lengths) {
+  // (length, run) pairs; run is u32. Compact because quantization-code
+  // alphabets are sparse away from the center.
+  std::uint32_t i = 0;
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> runs;
+  while (i < lengths.size()) {
+    std::uint32_t j = i;
+    while (j < lengths.size() && lengths[j] == lengths[i]) ++j;
+    runs.emplace_back(lengths[i], j - i);
+    i = j;
+  }
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(runs.size()));
+  for (auto [len, run] : runs) {
+    append_pod<std::uint8_t>(out, len);
+    append_pod<std::uint32_t>(out, run);
+  }
+}
+
+std::vector<std::uint8_t> read_lengths_rle(ByteReader& r,
+                                           std::uint32_t alphabet_size) {
+  const auto nruns = r.read_pod<std::uint32_t>();
+  std::vector<std::uint8_t> lengths;
+  lengths.reserve(alphabet_size);
+  for (std::uint32_t k = 0; k < nruns; ++k) {
+    const auto len = r.read_pod<std::uint8_t>();
+    const auto run = r.read_pod<std::uint32_t>();
+    EBLCIO_CHECK_STREAM(lengths.size() + run <= alphabet_size,
+                        "huffman length table overflow");
+    lengths.insert(lengths.end(), run, len);
+  }
+  EBLCIO_CHECK_STREAM(lengths.size() == alphabet_size,
+                      "huffman length table underflow");
+  return lengths;
+}
+
+}  // namespace
+
+Bytes huffman_encode(std::span<const std::uint32_t> symbols,
+                     std::uint32_t alphabet_size) {
+  std::vector<std::uint64_t> freqs(alphabet_size, 0);
+  for (std::uint32_t s : symbols) {
+    EBLCIO_CHECK_ARG(s < alphabet_size, "symbol outside alphabet");
+    ++freqs[s];
+  }
+  auto cc = assign_canonical(huffman_code_lengths(freqs));
+
+  Bytes out;
+  append_pod<std::uint64_t>(out, symbols.size());
+  append_pod<std::uint32_t>(out, alphabet_size);
+  write_lengths_rle(out, cc.lengths);
+
+  BitWriter bw;
+  for (std::uint32_t s : symbols)
+    bw.put_bits(reverse_bits(cc.codes[s], cc.lengths[s]), cc.lengths[s]);
+  Bytes payload = bw.take();
+  append_pod<std::uint64_t>(out, payload.size());
+  append_bytes(out, payload);
+  return out;
+}
+
+std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
+  ByteReader r(blob);
+  const auto count = r.read_pod<std::uint64_t>();
+  const auto alphabet_size = r.read_pod<std::uint32_t>();
+  auto lengths = read_lengths_rle(r, alphabet_size);
+  const auto payload_size = r.read_pod<std::uint64_t>();
+  auto payload = r.read_bytes(payload_size);
+
+  // Canonical decode tables: first code and first symbol index per length.
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t s = 0; s < alphabet_size; ++s)
+    if (lengths[s] > 0) order.push_back(s);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return a < b;
+  });
+
+  std::vector<std::uint32_t> result;
+  result.reserve(count);
+  if (count == 0) return result;
+  EBLCIO_CHECK_STREAM(!order.empty(), "huffman stream with empty alphabet");
+  if (order.size() == 1) {
+    result.assign(count, order[0]);
+    return result;
+  }
+
+  std::array<std::uint64_t, kMaxHuffmanBits + 2> first_code{};
+  std::array<std::uint32_t, kMaxHuffmanBits + 2> first_index{};
+  std::array<std::uint32_t, kMaxHuffmanBits + 2> num_codes{};
+  for (std::uint32_t idx = 0; idx < order.size(); ++idx)
+    ++num_codes[lengths[order[idx]]];
+  {
+    std::uint64_t code = 0;
+    std::uint32_t idx = 0;
+    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+      first_code[len] = code;
+      first_index[len] = idx;
+      code = (code + num_codes[len]) << 1;
+      idx += num_codes[len];
+    }
+  }
+
+  BitReader br(payload);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t code = 0;
+    int len = 0;
+    std::uint32_t sym = 0;
+    for (;;) {
+      EBLCIO_CHECK_STREAM(len < kMaxHuffmanBits, "invalid huffman code");
+      code = (code << 1) | br.get_bit();
+      ++len;
+      if (num_codes[len] > 0 &&
+          code < first_code[len] + num_codes[len]) {
+        EBLCIO_CHECK_STREAM(code >= first_code[len], "invalid huffman code");
+        sym = order[first_index[len] + (code - first_code[len])];
+        break;
+      }
+    }
+    result.push_back(sym);
+  }
+  return result;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,36 @@
+// Canonical Huffman coding over an arbitrary 32-bit symbol alphabet.
+//
+// This is the entropy stage shared by the SZ-family compressors (SZ2, SZ3,
+// QoZ encode their quantization codes with it, exactly as the reference
+// implementations do) and by the deflate-class lossless codec.
+//
+// The encoded blob is self-describing: a header carries the symbol count,
+// alphabet size and run-length-coded code lengths, followed by the packed
+// code bits, so decode needs nothing but the blob.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace eblcio {
+
+// Maximum code length produced by the canonical builder. Lengths beyond the
+// limit are flattened with a Kraft-sum fix-up.
+inline constexpr int kMaxHuffmanBits = 32;
+
+// Computes canonical code lengths for `freqs` (index = symbol). Zero
+// frequency yields length 0 (symbol absent).
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+// Encodes `symbols` (each < alphabet_size) into a self-describing blob.
+Bytes huffman_encode(std::span<const std::uint32_t> symbols,
+                     std::uint32_t alphabet_size);
+
+// Decodes a blob produced by huffman_encode.
+std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob);
+
+}  // namespace eblcio

@@ -1,0 +1,58 @@
+// Small integer coding primitives: zigzag, varint, negabinary.
+//
+// Negabinary is the signed-to-unsigned mapping used by ZFP's bit-plane
+// coder; zigzag+varint serialize token streams in the LZ codec and the
+// container formats.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace eblcio {
+
+// Signed -> unsigned interleave: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+// Two's complement -> negabinary, as in ZFP: nbmask = 0xaaaa... pattern.
+// Negabinary makes small-magnitude values (positive or negative) have few
+// significant bits, which is what makes bit-plane truncation graceful.
+inline constexpr std::uint64_t kNbMask = 0xaaaaaaaaaaaaaaaaULL;
+
+inline std::uint64_t int2uint_negabinary(std::int64_t x) {
+  return (static_cast<std::uint64_t>(x) + kNbMask) ^ kNbMask;
+}
+inline std::int64_t uint2int_negabinary(std::uint64_t x) {
+  return static_cast<std::int64_t>((x ^ kNbMask) - kNbMask);
+}
+
+// LEB128 unsigned varint.
+inline void varint_encode(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+inline std::uint64_t varint_decode(ByteReader& r) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const auto b = static_cast<std::uint8_t>(r.read_pod<std::uint8_t>());
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+    EBLCIO_CHECK_STREAM(shift < 64, "varint too long");
+  }
+  return v;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,149 @@
+#include "codec/lz77.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "codec/huffman.h"
+#include "codec/intcodec.h"
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kLzMagic = 0x4c5a4542;  // "BEZL"
+constexpr int kMaxMatch = 1 << 12;
+
+inline std::uint32_t hash4(const std::byte* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> 17;  // 15-bit hash
+}
+
+struct Token {
+  std::uint32_t literal_run;
+  std::uint32_t match_len;  // 0 on the final token if input ends in literals
+  std::uint32_t dist;
+};
+
+}  // namespace
+
+Bytes lz_compress(std::span<const std::byte> data, const LzOptions& opt) {
+  constexpr std::size_t kHashSize = 1u << 15;
+  const std::size_t n = data.size();
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(n > 0 ? n : 1, -1);
+
+  std::vector<Token> tokens;
+  Bytes literals;
+  literals.reserve(n / 4);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + 4 <= n) {
+      const std::uint32_t h = hash4(data.data() + pos);
+      const std::int64_t old_head = head[h];
+      std::int64_t cand = old_head;
+      int probes = opt.max_probes;
+      while (cand >= 0 && probes-- > 0 &&
+             pos - static_cast<std::size_t>(cand) <= opt.window) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        // Quick reject on first byte beyond current best.
+        if (best_len == 0 || (c + best_len < n && pos + best_len < n &&
+                              data[c + best_len] == data[pos + best_len])) {
+          std::size_t len = 0;
+          const std::size_t max_len =
+              std::min<std::size_t>(kMaxMatch, n - pos);
+          while (len < max_len && data[c + len] == data[pos + len]) ++len;
+          if (len > best_len) {
+            best_len = len;
+            best_dist = pos - c;
+          }
+        }
+        cand = prev[c];
+      }
+      head[h] = static_cast<std::int64_t>(pos);
+      prev[pos] = old_head;
+    }
+    if (best_len >= static_cast<std::size_t>(opt.min_match)) {
+      tokens.push_back({static_cast<std::uint32_t>(pos - lit_start),
+                        static_cast<std::uint32_t>(best_len),
+                        static_cast<std::uint32_t>(best_dist)});
+      literals.insert(literals.end(), data.begin() + lit_start,
+                      data.begin() + pos);
+      // Insert hash entries inside the match (sparsely, for speed).
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1; p + 4 <= n && p < end; p += 2) {
+        const std::uint32_t h = hash4(data.data() + p);
+        prev[p] = head[h];
+        head[h] = static_cast<std::int64_t>(p);
+      }
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (lit_start < n || tokens.empty()) {
+    tokens.push_back({static_cast<std::uint32_t>(n - lit_start), 0, 0});
+    literals.insert(literals.end(), data.begin() + lit_start, data.end());
+  }
+
+  // Entropy-code the literal bytes; varint the token stream.
+  std::vector<std::uint32_t> lit_syms(literals.size());
+  for (std::size_t i = 0; i < literals.size(); ++i)
+    lit_syms[i] = static_cast<std::uint8_t>(literals[i]);
+  Bytes lit_blob = huffman_encode(lit_syms, 256);
+
+  Bytes out;
+  append_pod<std::uint32_t>(out, kLzMagic);
+  append_pod<std::uint64_t>(out, n);
+  append_pod<std::uint64_t>(out, lit_blob.size());
+  append_bytes(out, lit_blob);
+  append_pod<std::uint64_t>(out, tokens.size());
+  for (const Token& t : tokens) {
+    varint_encode(out, t.literal_run);
+    varint_encode(out, t.match_len);
+    if (t.match_len > 0) varint_encode(out, t.dist);
+  }
+  return out;
+}
+
+Bytes lz_decompress(std::span<const std::byte> blob) {
+  ByteReader r(blob);
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kLzMagic,
+                      "bad LZ magic");
+  const auto orig_size = r.read_pod<std::uint64_t>();
+  const auto lit_size = r.read_pod<std::uint64_t>();
+  auto lit_blob = r.read_bytes(lit_size);
+  auto lit_syms = huffman_decode(lit_blob);
+  const auto ntokens = r.read_pod<std::uint64_t>();
+
+  Bytes out;
+  out.reserve(orig_size);
+  std::size_t lit_pos = 0;
+  for (std::uint64_t i = 0; i < ntokens; ++i) {
+    const auto lit_run = varint_decode(r);
+    const auto match_len = varint_decode(r);
+    EBLCIO_CHECK_STREAM(lit_pos + lit_run <= lit_syms.size(),
+                        "literal overrun");
+    for (std::uint64_t k = 0; k < lit_run; ++k)
+      out.push_back(static_cast<std::byte>(lit_syms[lit_pos++]));
+    if (match_len > 0) {
+      const auto dist = varint_decode(r);
+      EBLCIO_CHECK_STREAM(dist > 0 && dist <= out.size(), "bad match dist");
+      std::size_t src = out.size() - dist;
+      for (std::uint64_t k = 0; k < match_len; ++k)
+        out.push_back(out[src + k]);  // overlapping copies are valid
+    }
+  }
+  EBLCIO_CHECK_STREAM(out.size() == orig_size, "LZ size mismatch");
+  return out;
+}
+
+}  // namespace eblcio

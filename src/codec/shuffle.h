@@ -1,0 +1,41 @@
+// Byte shuffle filter (the transform at the heart of Blosc).
+//
+// Transposes an array of fixed-size elements so that byte k of every element
+// becomes contiguous. For IEEE floats this groups the slowly-varying sign/
+// exponent bytes together, which LZ then compresses well.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace eblcio {
+
+inline Bytes shuffle_bytes(std::span<const std::byte> data,
+                           std::size_t elem_size) {
+  EBLCIO_CHECK_ARG(elem_size > 0 && data.size() % elem_size == 0,
+                   "shuffle: buffer not a multiple of element size");
+  const std::size_t n = data.size() / elem_size;
+  Bytes out(data.size());
+  for (std::size_t b = 0; b < elem_size; ++b)
+    for (std::size_t i = 0; i < n; ++i)
+      out[b * n + i] = data[i * elem_size + b];
+  return out;
+}
+
+inline Bytes unshuffle_bytes(std::span<const std::byte> data,
+                             std::size_t elem_size) {
+  EBLCIO_CHECK_ARG(elem_size > 0 && data.size() % elem_size == 0,
+                   "unshuffle: buffer not a multiple of element size");
+  const std::size_t n = data.size() / elem_size;
+  Bytes out(data.size());
+  for (std::size_t b = 0; b < elem_size; ++b)
+    for (std::size_t i = 0; i < n; ++i)
+      out[i * elem_size + b] = data[b * n + i];
+  return out;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,77 @@
+// Little-endian POD serialization helpers used by every on-disk/in-blob
+// format in the library (compressed headers, H5Lite/NcLite containers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eblcio {
+
+using Bytes = std::vector<std::byte>;
+
+// Appends the raw little-endian representation of a trivially copyable value.
+template <typename T>
+void append_pod(Bytes& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+inline void append_bytes(Bytes& out, std::span<const std::byte> data) {
+  out.insert(out.end(), data.begin(), data.end());
+}
+
+inline void append_string(Bytes& out, const std::string& s) {
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), reinterpret_cast<const std::byte*>(s.data()),
+             reinterpret_cast<const std::byte*>(s.data() + s.size()));
+}
+
+// Sequential reader over a byte span; throws CorruptStream on underrun.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T read_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    EBLCIO_CHECK_STREAM(pos_ + sizeof(T) <= data_.size(),
+                        "unexpected end of stream");
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::string read_string() {
+    const auto n = read_pod<std::uint32_t>();
+    EBLCIO_CHECK_STREAM(pos_ + n <= data_.size(), "unexpected end of stream");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::byte> read_bytes(std::size_t n) {
+    EBLCIO_CHECK_STREAM(pos_ + n <= data_.size(), "unexpected end of stream");
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::byte> remaining() const { return data_.subspan(pos_); }
+  std::size_t pos() const { return pos_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,32 @@
+// Minimal command-line flag parsing shared by benches and examples.
+//
+// Supports `--name=value`, `--name value` and boolean `--name` forms.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace eblcio {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  double get_double(const std::string& name, double def) const;
+  int get_int(const std::string& name, int def) const;
+  bool get_bool(const std::string& name, bool def = false) const;
+
+  // Non-flag positional arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,57 @@
+// Error types shared across the eblcio library.
+//
+// The library throws exceptions for unrecoverable misuse (bad arguments,
+// corrupt streams); hot paths signal recoverable conditions through return
+// values instead. All exceptions derive from eblcio::Error so callers can
+// catch the library's failures with a single handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eblcio {
+
+// Base class for all errors raised by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// The caller passed arguments that violate an API precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+// A serialized stream (compressed blob, container file) is malformed.
+class CorruptStream : public Error {
+ public:
+  explicit CorruptStream(const std::string& what)
+      : Error("corrupt stream: " + what) {}
+};
+
+// A feature combination is not supported (mirrors the paper's notes, e.g.
+// "QoZ is not capable of compressing 1D data").
+class Unsupported : public Error {
+ public:
+  explicit Unsupported(const std::string& what)
+      : Error("unsupported: " + what) {}
+};
+
+#define EBLCIO_CHECK(cond, msg)                 \
+  do {                                          \
+    if (!(cond)) throw ::eblcio::Error(msg);    \
+  } while (0)
+
+#define EBLCIO_CHECK_ARG(cond, msg)                      \
+  do {                                                   \
+    if (!(cond)) throw ::eblcio::InvalidArgument(msg);   \
+  } while (0)
+
+#define EBLCIO_CHECK_STREAM(cond, msg)                 \
+  do {                                                 \
+    if (!(cond)) throw ::eblcio::CorruptStream(msg);   \
+  } while (0)
+
+}  // namespace eblcio

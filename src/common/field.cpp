@@ -1,0 +1,36 @@
+#include "common/field.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eblcio {
+
+const Shape& Field::shape() const {
+  return visit([](const auto& arr) -> const Shape& { return arr.shape(); });
+}
+
+std::span<const std::byte> Field::bytes() const {
+  return visit([](const auto& arr) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(arr.data()), arr.size_bytes());
+  });
+}
+
+Field::Range Field::value_range() const {
+  return visit([](const auto& arr) {
+    Field::Range r;
+    if (arr.num_elements() == 0) return r;
+    double lo = arr[0], hi = arr[0];
+    for (std::size_t i = 1; i < arr.num_elements(); ++i) {
+      const double v = arr[i];
+      if (std::isnan(v)) continue;
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    r.min = lo;
+    r.max = hi;
+    return r;
+  });
+}
+
+}  // namespace eblcio

@@ -1,0 +1,61 @@
+#include "common/format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace eblcio {
+
+std::string human_bytes(std::uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  double v = static_cast<double>(bytes);
+  int unit = 0;
+  while (v >= 1000.0 && unit < 5) {
+    v /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), kUnits[unit]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, kUnits[unit]);
+  }
+  return buf;
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_error_bound(double eb) {
+  const int exp = static_cast<int>(std::lround(std::log10(eb)));
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "1E%+03d", exp);
+  return buf;
+}
+
+std::string fmt_dims(const std::vector<std::size_t>& dims) {
+  std::string s;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    if (i) s += "x";
+    s += std::to_string(dims[i]);
+  }
+  return s;
+}
+
+std::string fmt_seconds(double s) {
+  char buf[32];
+  if (s < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  } else if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  }
+  return buf;
+}
+
+}  // namespace eblcio

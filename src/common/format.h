@@ -1,0 +1,26 @@
+// Human-friendly string formatting for reports, benches and examples.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace eblcio {
+
+// "673.9MB", "10.5GB" — decimal units as used in the paper's Table II.
+std::string human_bytes(std::uint64_t bytes);
+
+// Fixed-precision double ("12.34"); trims to `prec` decimals.
+std::string fmt_double(double v, int prec = 2);
+
+// Scientific notation matching the paper's error-bound axis labels: "1E-03".
+std::string fmt_error_bound(double eb);
+
+// "26x1800x3600" from a dims vector.
+std::string fmt_dims(const std::vector<std::size_t>& dims);
+
+// Seconds with an adaptive unit ("532 ms", "12.3 s").
+std::string fmt_seconds(double s);
+
+}  // namespace eblcio

@@ -1,0 +1,35 @@
+// Aligned plain-text table printer.
+//
+// Every bench binary reproduces a paper table/figure as rows of text; this
+// keeps their output consistent and diff-able (EXPERIMENTS.md records the
+// emitted rows).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eblcio {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  // Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace eblcio

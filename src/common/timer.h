@@ -1,0 +1,36 @@
+// Wall-clock timing for compression kernels.
+//
+// Compute phases are *really executed and really timed*; the energy layer
+// converts these measured durations into per-platform energy (see
+// src/energy/). Keep the timer minimal and monotonic.
+#pragma once
+
+#include <chrono>
+
+namespace eblcio {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or last reset().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Times a callable and returns its wall duration in seconds.
+template <typename F>
+double timed_s(F&& f) {
+  WallTimer t;
+  f();
+  return t.elapsed_s();
+}
+
+}  // namespace eblcio

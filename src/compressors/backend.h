@@ -1,0 +1,60 @@
+// Shared entropy backend for the SZ-family codecs: canonical Huffman over
+// the quantization-code stream, optionally followed by the deflate-class
+// lossless pass (the "Huffman + Zstd" stage of SZ2/SZ3/QoZ). Emits whichever
+// of the two encodings is smaller, with a tag byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "codec/huffman.h"
+#include "codec/lz77.h"
+#include "common/bytes.h"
+#include "common/error.h"
+
+namespace eblcio {
+
+inline constexpr std::uint8_t kBackendHuffman = 0;
+inline constexpr std::uint8_t kBackendHuffmanLz = 1;
+
+inline Bytes encode_code_stream(const std::vector<std::uint32_t>& codes,
+                                std::uint32_t alphabet_size) {
+  Bytes huff = huffman_encode(codes, alphabet_size);
+  Bytes lz = lz_compress(huff);
+  Bytes out;
+  if (lz.size() < huff.size()) {
+    append_pod<std::uint8_t>(out, kBackendHuffmanLz);
+    append_pod<std::uint64_t>(out, lz.size());
+    append_bytes(out, lz);
+  } else {
+    append_pod<std::uint8_t>(out, kBackendHuffman);
+    append_pod<std::uint64_t>(out, huff.size());
+    append_bytes(out, huff);
+  }
+  return out;
+}
+
+inline std::vector<std::uint32_t> decode_code_stream(ByteReader& r) {
+  const auto backend = r.read_pod<std::uint8_t>();
+  const auto size = r.read_pod<std::uint64_t>();
+  auto blob = r.read_bytes(size);
+  if (backend == kBackendHuffmanLz) {
+    const Bytes huff = lz_decompress(blob);
+    return huffman_decode(huff);
+  }
+  EBLCIO_CHECK_STREAM(backend == kBackendHuffman, "bad backend tag");
+  return huffman_decode(blob);
+}
+
+inline void append_sized(Bytes& out, const Bytes& b) {
+  append_pod<std::uint64_t>(out, b.size());
+  append_bytes(out, b);
+}
+
+inline std::span<const std::byte> read_sized(ByteReader& r) {
+  const auto size = r.read_pod<std::uint64_t>();
+  return r.read_bytes(size);
+}
+
+}  // namespace eblcio

@@ -1,0 +1,139 @@
+#include "compressors/chunking.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+template <typename T>
+std::vector<Field> split_impl(const Field& field, int nchunks) {
+  const NdArray<T>& arr = field.as<T>();
+  const Shape& shape = arr.shape();
+  const std::size_t d0 = shape.dim(0);
+  const int chunks = static_cast<int>(
+      std::min<std::size_t>(d0, static_cast<std::size_t>(nchunks)));
+  const std::size_t row_elems = shape.num_elements() / d0;
+
+  std::vector<Field> out;
+  out.reserve(chunks);
+  std::size_t start = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const std::size_t rows = slab_rows(d0, chunks, c);
+    std::vector<std::size_t> dims = shape.dims_vector();
+    dims[0] = rows;
+    NdArray<T> slab(Shape{std::span<const std::size_t>(dims)});
+    std::memcpy(slab.data(), arr.data() + start * row_elems,
+                rows * row_elems * sizeof(T));
+    out.emplace_back(field.name(), std::move(slab));
+    start += rows;
+  }
+  return out;
+}
+
+template <typename T>
+Field merge_impl(const std::vector<Field>& slabs,
+                 const std::vector<std::size_t>& dims,
+                 const std::string& name) {
+  NdArray<T> arr(Shape{std::span<const std::size_t>(dims)});
+  std::size_t offset = 0;
+  for (const Field& slab : slabs) {
+    const NdArray<T>& s = slab.as<T>();
+    std::memcpy(arr.data() + offset, s.data(), s.num_elements() * sizeof(T));
+    offset += s.num_elements();
+  }
+  EBLCIO_CHECK(offset == arr.num_elements(), "slab merge size mismatch");
+  return Field(name, std::move(arr));
+}
+
+}  // namespace
+
+std::size_t slab_rows(std::size_t d0, int nchunks, int c) {
+  return d0 / nchunks +
+         (static_cast<std::size_t>(c) < d0 % nchunks ? 1 : 0);
+}
+
+std::vector<Field> split_slabs(const Field& field, int nchunks) {
+  EBLCIO_CHECK_ARG(nchunks >= 1, "chunk count must be positive");
+  if (field.dtype() == DType::kFloat32)
+    return split_impl<float>(field, nchunks);
+  return split_impl<double>(field, nchunks);
+}
+
+Field merge_slabs(const std::vector<Field>& slabs,
+                  const std::vector<std::size_t>& dims,
+                  const std::string& name) {
+  EBLCIO_CHECK_ARG(!slabs.empty(), "no slabs to merge");
+  if (slabs[0].dtype() == DType::kFloat32)
+    return merge_impl<float>(slabs, dims, name);
+  return merge_impl<double>(slabs, dims, name);
+}
+
+Bytes compress_chunked(const BlobHeader& header, const Field& field,
+                       const CompressOptions& opt,
+                       const PayloadCompressFn& kernel) {
+  Bytes out;
+  header.encode(out);
+
+  if (opt.threads <= 1 || field.shape().dim(0) < 2) {
+    append_pod<std::uint8_t>(out, kLayoutSingle);
+    Bytes payload = kernel(field, header, opt);
+    append_pod<std::uint64_t>(out, payload.size());
+    append_bytes(out, payload);
+    return out;
+  }
+
+  auto slabs = split_slabs(field, opt.threads);
+  std::vector<Bytes> blobs(slabs.size());
+  CompressOptions serial_opt = opt;
+  serial_opt.threads = 1;
+#pragma omp parallel for num_threads(opt.threads) schedule(dynamic)
+  for (std::size_t i = 0; i < slabs.size(); ++i) {
+    BlobHeader slab_header = header;
+    slab_header.dims = slabs[i].shape().dims_vector();
+    blobs[i] = kernel(slabs[i], slab_header, serial_opt);
+  }
+
+  append_pod<std::uint8_t>(out, kLayoutChunked);
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(blobs.size()));
+  for (const Bytes& b : blobs) append_pod<std::uint64_t>(out, b.size());
+  for (const Bytes& b : blobs) append_bytes(out, b);
+  return out;
+}
+
+Field decompress_chunked(std::span<const std::byte> blob, int threads,
+                         const PayloadDecompressFn& kernel) {
+  ByteReader r(blob);
+  const BlobHeader header = BlobHeader::decode(r);
+  const auto layout = r.read_pod<std::uint8_t>();
+
+  if (layout == kLayoutSingle) {
+    const auto size = r.read_pod<std::uint64_t>();
+    return kernel(header, r.read_bytes(size));
+  }
+  EBLCIO_CHECK_STREAM(layout == kLayoutChunked, "bad payload layout tag");
+
+  const auto nchunks = r.read_pod<std::uint32_t>();
+  EBLCIO_CHECK_STREAM(nchunks >= 1, "empty chunk table");
+  std::vector<std::uint64_t> sizes(nchunks);
+  for (auto& s : sizes) s = r.read_pod<std::uint64_t>();
+  std::vector<std::span<const std::byte>> spans(nchunks);
+  for (std::uint32_t i = 0; i < nchunks; ++i)
+    spans[i] = r.read_bytes(sizes[i]);
+
+  std::vector<Field> slabs(nchunks);
+#pragma omp parallel for num_threads(std::max(threads, 1)) schedule(dynamic)
+  for (std::uint32_t i = 0; i < nchunks; ++i) {
+    BlobHeader slab_header = header;
+    slab_header.dims[0] = slab_rows(header.dims[0], nchunks, i);
+    slabs[i] = kernel(slab_header, spans[i]);
+  }
+
+  return merge_slabs(slabs, header.dims, header.codec);
+}
+
+}  // namespace eblcio

@@ -1,0 +1,58 @@
+// Domain-decomposition parallelism for compressors.
+//
+// The OpenMP modes of SZ3/QoZ/SZx (and our fallback for others) split the
+// field into contiguous slabs along its slowest-varying dimension, compress
+// each slab independently with the codec's serial kernel, and concatenate
+// the per-slab payloads behind a chunk table. Decompression parallelizes
+// the same way. This mirrors how the reference implementations parallelize
+// (block/chunk independence), including the small compression-ratio loss
+// from per-chunk entropy tables.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/field.h"
+#include "compressors/compressor.h"
+
+namespace eblcio {
+
+// Codec kernels operate on header+payload; the chunk container owns the
+// framing. The header passed to a kernel carries the dims of the (sub)field
+// it must handle and the absolute error bound for the *whole* field.
+using PayloadCompressFn = std::function<Bytes(
+    const Field& field, const BlobHeader& header, const CompressOptions&)>;
+using PayloadDecompressFn = std::function<Field(
+    const BlobHeader& header, std::span<const std::byte> payload)>;
+
+// Payload layout tags written immediately after the BlobHeader.
+inline constexpr std::uint8_t kLayoutSingle = 0;
+inline constexpr std::uint8_t kLayoutChunked = 1;
+
+// Splits `field` into at most `nchunks` slabs along dimension 0 (each slab
+// keeps full extent in the remaining dimensions). Returns fewer chunks when
+// dim0 is too small to split. Row distribution is deterministic so the
+// decompressor can recompute slab shapes.
+std::vector<Field> split_slabs(const Field& field, int nchunks);
+
+// Rows assigned to slab `c` of `nchunks` when splitting extent `d0`.
+std::size_t slab_rows(std::size_t d0, int nchunks, int c);
+
+// Reassembles slabs split by split_slabs into one field shaped `dims`.
+Field merge_slabs(const std::vector<Field>& slabs,
+                  const std::vector<std::size_t>& dims,
+                  const std::string& name);
+
+// Compresses with slab parallelism: runs `kernel` on each slab in an OpenMP
+// parallel-for with opt.threads threads. Falls back to a single chunk when
+// opt.threads <= 1 or the field cannot be split.
+Bytes compress_chunked(const BlobHeader& header, const Field& field,
+                       const CompressOptions& opt,
+                       const PayloadCompressFn& kernel);
+
+// Decompresses blobs produced by compress_chunked (either layout).
+Field decompress_chunked(std::span<const std::byte> blob, int threads,
+                         const PayloadDecompressFn& kernel);
+
+}  // namespace eblcio

@@ -1,0 +1,136 @@
+#include "compressors/compressor.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "common/error.h"
+#include "compressors/lossless_blosc.h"
+#include "compressors/lossless_fpc.h"
+#include "compressors/lossless_fpzip.h"
+#include "compressors/lossless_zl.h"
+#include "compressors/qoz.h"
+#include "compressors/sz2.h"
+#include "compressors/sz3.h"
+#include "compressors/szx.h"
+#include "compressors/zfp.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kBlobMagic = 0x4f49424cu;  // "LBIO"
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+bool Compressor::supports(const Field& field,
+                          const CompressOptions& opt) const {
+  const CompressorCaps c = caps();
+  const int d = field.ndims();
+  if (d < c.min_dims || d > c.max_dims) return false;
+  if (opt.threads > 1 && !(c.parallel_dims_mask & (1u << (d - 1))))
+    return false;
+  if (opt.mode == BoundMode::kLossless && !c.lossless) return false;
+  return true;
+}
+
+void BlobHeader::encode(Bytes& out) const {
+  append_pod<std::uint32_t>(out, kBlobMagic);
+  append_string(out, codec);
+  append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(dtype));
+  append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(dims.size()));
+  for (auto d : dims) append_pod<std::uint64_t>(out, d);
+  append_pod<double>(out, abs_error_bound);
+  append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(requested_mode));
+  append_pod<double>(out, requested_bound);
+}
+
+BlobHeader BlobHeader::decode(ByteReader& r) {
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kBlobMagic,
+                      "bad blob magic");
+  BlobHeader h;
+  h.codec = r.read_string();
+  h.dtype = static_cast<DType>(r.read_pod<std::uint8_t>());
+  const int nd = r.read_pod<std::uint8_t>();
+  EBLCIO_CHECK_STREAM(nd >= 1 && nd <= kMaxDims, "bad blob dims");
+  for (int i = 0; i < nd; ++i)
+    h.dims.push_back(static_cast<std::size_t>(r.read_pod<std::uint64_t>()));
+  h.abs_error_bound = r.read_pod<double>();
+  h.requested_mode = static_cast<BoundMode>(r.read_pod<std::uint8_t>());
+  h.requested_bound = r.read_pod<double>();
+  return h;
+}
+
+double absolute_bound_for(const Field& field, const CompressOptions& opt) {
+  switch (opt.mode) {
+    case BoundMode::kAbsolute:
+      return opt.error_bound;
+    case BoundMode::kValueRangeRel: {
+      const auto range = field.value_range();
+      return opt.error_bound * range.span();
+    }
+    case BoundMode::kLossless:
+      return 0.0;
+  }
+  throw InvalidArgument("bad bound mode");
+}
+
+Compressor& compressor(const std::string& name) {
+  static std::map<std::string, std::unique_ptr<Compressor>> registry = [] {
+    std::map<std::string, std::unique_ptr<Compressor>> m;
+    auto add = [&m](std::unique_ptr<Compressor> c) {
+      m[lower(c->name())] = std::move(c);
+    };
+    add(std::make_unique<Sz2Compressor>());
+    add(std::make_unique<Sz3Compressor>());
+    add(std::make_unique<ZfpCompressor>());
+    add(std::make_unique<QozCompressor>());
+    add(std::make_unique<SzxCompressor>());
+    add(std::make_unique<ZlCompressor>());
+    add(std::make_unique<BloscLikeCompressor>());
+    add(std::make_unique<FpzipLikeCompressor>());
+    add(std::make_unique<FpcCompressor>());
+    return m;
+  }();
+  auto it = registry.find(lower(name));
+  if (it == registry.end())
+    throw InvalidArgument("unknown compressor: " + name);
+  return *it->second;
+}
+
+const std::vector<std::string>& eblc_names() {
+  static const std::vector<std::string> kNames = {"SZ2", "SZ3", "ZFP", "QoZ",
+                                                  "SZx"};
+  return kNames;
+}
+
+const std::vector<std::string>& lossless_names() {
+  static const std::vector<std::string> kNames = {"zstd", "C-Blosc2", "fpzip",
+                                                  "FPC"};
+  return kNames;
+}
+
+std::vector<std::string> all_compressor_names() {
+  std::vector<std::string> names = eblc_names();
+  const auto& ll = lossless_names();
+  names.insert(names.end(), ll.begin(), ll.end());
+  return names;
+}
+
+Field decompress_any(std::span<const std::byte> blob, int threads) {
+  ByteReader r(blob);
+  const BlobHeader h = BlobHeader::decode(r);
+  return compressor(h.codec).decompress(blob, threads);
+}
+
+BlobHeader peek_header(std::span<const std::byte> blob) {
+  ByteReader r(blob);
+  return BlobHeader::decode(r);
+}
+
+}  // namespace eblcio

@@ -1,0 +1,273 @@
+#include "compressors/interp_core.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "common/error.h"
+#include "compressors/backend.h"
+#include "compressors/quantizer.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kRadius = 32768;
+
+// Uniform 4D view with leading unit dimensions.
+struct Grid {
+  std::array<std::size_t, 4> dim{1, 1, 1, 1};
+  std::array<std::size_t, 4> stride{};
+  int real_dims = 1;
+
+  static Grid from_dims(const std::vector<std::size_t>& dims) {
+    Grid g;
+    g.real_dims = static_cast<int>(dims.size());
+    const int pad = 4 - g.real_dims;
+    for (int i = 0; i < g.real_dims; ++i) g.dim[pad + i] = dims[i];
+    std::size_t acc = 1;
+    for (int d = 3; d >= 0; --d) {
+      g.stride[d] = acc;
+      acc *= g.dim[d];
+    }
+    return g;
+  }
+
+  std::size_t num_elements() const {
+    return dim[0] * dim[1] * dim[2] * dim[3];
+  }
+  std::size_t max_dim() const {
+    return std::max(std::max(dim[0], dim[1]), std::max(dim[2], dim[3]));
+  }
+};
+
+std::size_t auto_anchor_stride(const Grid& g) {
+  return std::bit_ceil(g.max_dim());
+}
+
+// Interpolates along dimension `d` at position `c` (coord c[d] is the
+// midpoint between known grid points at distance `h`).
+double interp_predict(const Grid& g, const double* recon,
+                      const std::array<std::size_t, 4>& c, int d,
+                      std::size_t h, bool cubic, std::size_t lin) {
+  const std::size_t cd = c[d];
+  const std::size_t nd = g.dim[d];
+  const std::size_t sd = g.stride[d];
+  const bool has_l1 = cd >= h;
+  const bool has_r1 = cd + h < nd;
+  if (cubic && cd >= 3 * h && cd + 3 * h < nd) {
+    const double fm3 = recon[lin - 3 * h * sd];
+    const double fm1 = recon[lin - h * sd];
+    const double fp1 = recon[lin + h * sd];
+    const double fp3 = recon[lin + 3 * h * sd];
+    return (-fm3 + 9.0 * fm1 + 9.0 * fp1 - fp3) / 16.0;
+  }
+  if (has_l1 && has_r1)
+    return 0.5 * (recon[lin - h * sd] + recon[lin + h * sd]);
+  if (has_l1) return recon[lin - h * sd];
+  if (has_r1) return recon[lin + h * sd];
+  return 0.0;
+}
+
+// Visits every interpolation target in deterministic order. The visitor is
+// called as f(coords, lin, dim, half, level).
+template <typename F>
+void traverse(const Grid& g, std::size_t anchor_stride, F&& f) {
+  int level = 0;
+  {
+    std::size_t s = anchor_stride;
+    while (s > 1) {
+      ++level;
+      s >>= 1;
+    }
+  }
+  for (std::size_t s = anchor_stride; s > 1; s >>= 1, --level) {
+    const std::size_t h = s / 2;
+    for (int d = 0; d < 4; ++d) {
+      if (g.dim[d] == 1) continue;
+      if (h >= g.dim[d]) continue;  // no midpoints along this dim yet
+      // Iteration steps: dims refined earlier this round advance by h,
+      // later dims by s, dimension d starts at h and advances by s.
+      std::array<std::size_t, 4> start{}, step{};
+      for (int e = 0; e < 4; ++e) {
+        start[e] = (e == d) ? h : 0;
+        step[e] = (e < d) ? h : s;
+      }
+      step[d] = s;
+      std::array<std::size_t, 4> c{};
+      for (c[0] = start[0]; c[0] < g.dim[0]; c[0] += step[0])
+        for (c[1] = start[1]; c[1] < g.dim[1]; c[1] += step[1])
+          for (c[2] = start[2]; c[2] < g.dim[2]; c[2] += step[2])
+            for (c[3] = start[3]; c[3] < g.dim[3]; c[3] += step[3]) {
+              const std::size_t lin = c[0] * g.stride[0] +
+                                      c[1] * g.stride[1] +
+                                      c[2] * g.stride[2] + c[3];
+              f(c, lin, d, h, level);
+            }
+    }
+  }
+}
+
+double level_eb(double abs_eb, double gamma, int level) {
+  // gamma < 1 tightens coarse (high) levels; bound capped at abs_eb so the
+  // overall guarantee holds at every level.
+  double eb = abs_eb * std::pow(gamma, level - 1);
+  return std::min(eb, abs_eb);
+}
+
+// Per-level error bounds, precomputed once per (de)compression so the hot
+// loop avoids pow().
+std::array<double, 64> level_eb_table(double abs_eb, double gamma) {
+  std::array<double, 64> t{};
+  for (int l = 0; l < 64; ++l) t[l] = level_eb(abs_eb, gamma, l);
+  return t;
+}
+
+template <typename T>
+InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
+                             const InterpConfig& config) {
+  const Grid g = Grid::from_dims(arr.shape().dims_vector());
+  const std::size_t anchor_stride =
+      config.anchor_stride ? config.anchor_stride : auto_anchor_stride(g);
+  EBLCIO_CHECK_ARG(std::has_single_bit(anchor_stride),
+                   "anchor stride must be a power of two");
+  const T* data = arr.data();
+
+  InterpEncoding enc;
+  enc.alphabet_size = 2 * kRadius + 1;
+  enc.codes.reserve(g.num_elements());
+  std::vector<double> recon(g.num_elements(), 0.0);
+
+  // Anchors: exact values on the coarse grid.
+  std::array<std::size_t, 4> a{};
+  for (a[0] = 0; a[0] < g.dim[0]; a[0] += anchor_stride)
+    for (a[1] = 0; a[1] < g.dim[1]; a[1] += anchor_stride)
+      for (a[2] = 0; a[2] < g.dim[2]; a[2] += anchor_stride)
+        for (a[3] = 0; a[3] < g.dim[3]; a[3] += anchor_stride) {
+          const std::size_t lin = a[0] * g.stride[0] + a[1] * g.stride[1] +
+                                  a[2] * g.stride[2] + a[3];
+          append_pod<T>(enc.anchors, data[lin]);
+          recon[lin] = static_cast<double>(data[lin]);
+        }
+
+  const auto leb = level_eb_table(abs_eb, config.level_gamma);
+  traverse(g, anchor_stride,
+           [&](const std::array<std::size_t, 4>& c, std::size_t lin, int d,
+               std::size_t h, int level) {
+             const double pred = interp_predict(g, recon.data(), c, d, h,
+                                                config.cubic, lin);
+             const LinearQuantizer quant(leb[level], kRadius);
+             const double x = static_cast<double>(data[lin]);
+             double r = 0.0;
+             const std::uint32_t code = quant.quantize<T>(x, pred, &r);
+             if (code == 0) {
+               append_pod<T>(enc.unpred, static_cast<T>(x));
+               r = x;
+             }
+             recon[lin] = r;
+             enc.codes.push_back(code);
+           });
+  return enc;
+}
+
+template <typename T>
+Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
+                      std::span<const std::uint32_t> codes,
+                      std::span<const std::byte> anchors,
+                      std::span<const std::byte> unpred) {
+  const Grid g = Grid::from_dims(header.dims);
+  const std::size_t anchor_stride =
+      config.anchor_stride ? config.anchor_stride : auto_anchor_stride(g);
+  const double abs_eb = header.abs_error_bound;
+
+  NdArray<T> arr(Shape{std::span<const std::size_t>(header.dims)});
+  std::vector<double> recon(g.num_elements(), 0.0);
+  ByteReader anchor_r(anchors);
+  ByteReader unpred_r(unpred);
+
+  std::array<std::size_t, 4> a{};
+  for (a[0] = 0; a[0] < g.dim[0]; a[0] += anchor_stride)
+    for (a[1] = 0; a[1] < g.dim[1]; a[1] += anchor_stride)
+      for (a[2] = 0; a[2] < g.dim[2]; a[2] += anchor_stride)
+        for (a[3] = 0; a[3] < g.dim[3]; a[3] += anchor_stride) {
+          const std::size_t lin = a[0] * g.stride[0] + a[1] * g.stride[1] +
+                                  a[2] * g.stride[2] + a[3];
+          const T v = anchor_r.read_pod<T>();
+          recon[lin] = static_cast<double>(v);
+          arr[lin] = v;
+        }
+
+  std::size_t code_idx = 0;
+  const auto leb = level_eb_table(abs_eb, config.level_gamma);
+  traverse(g, anchor_stride,
+           [&](const std::array<std::size_t, 4>& c, std::size_t lin, int d,
+               std::size_t h, int level) {
+             EBLCIO_CHECK_STREAM(code_idx < codes.size(),
+                                 "interp: code stream underrun");
+             const std::uint32_t code = codes[code_idx++];
+             T out;
+             if (code == 0) {
+               out = unpred_r.read_pod<T>();
+             } else {
+               const double pred = interp_predict(g, recon.data(), c, d, h,
+                                                  config.cubic, lin);
+               const LinearQuantizer quant(leb[level], kRadius);
+               out = static_cast<T>(quant.recover(pred, code));
+             }
+             recon[lin] = static_cast<double>(out);
+             arr[lin] = out;
+           });
+  EBLCIO_CHECK_STREAM(code_idx == codes.size(),
+                      "interp: code stream overrun");
+  return Field(header.codec, std::move(arr));
+}
+
+}  // namespace
+
+InterpEncoding interp_compress(const Field& field, double abs_eb,
+                               const InterpConfig& config) {
+  return field.dtype() == DType::kFloat32
+             ? compress_impl<float>(field.as<float>(), abs_eb, config)
+             : compress_impl<double>(field.as<double>(), abs_eb, config);
+}
+
+Field interp_decompress(const BlobHeader& header, const InterpConfig& config,
+                        std::span<const std::uint32_t> codes,
+                        std::span<const std::byte> anchors,
+                        std::span<const std::byte> unpred) {
+  return header.dtype == DType::kFloat32
+             ? decompress_impl<float>(header, config, codes, anchors, unpred)
+             : decompress_impl<double>(header, config, codes, anchors,
+                                       unpred);
+}
+
+Bytes interp_payload_encode(const InterpConfig& config,
+                            const InterpEncoding& enc) {
+  Bytes out;
+  append_pod<std::uint64_t>(out, config.anchor_stride);
+  append_pod<double>(out, config.level_gamma);
+  append_pod<std::uint8_t>(out, config.cubic ? 1 : 0);
+  append_pod<std::uint64_t>(out, enc.codes.size());
+  append_sized(out, enc.anchors);
+  append_sized(out, enc.unpred);
+  Bytes code_blob = encode_code_stream(enc.codes, enc.alphabet_size);
+  append_bytes(out, code_blob);
+  return out;
+}
+
+InterpPayload interp_payload_decode(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  InterpPayload p;
+  p.config.anchor_stride = r.read_pod<std::uint64_t>();
+  p.config.level_gamma = r.read_pod<double>();
+  p.config.cubic = r.read_pod<std::uint8_t>() != 0;
+  const auto ncodes = r.read_pod<std::uint64_t>();
+  p.anchors = read_sized(r);
+  p.unpred = read_sized(r);
+  p.codes = decode_code_stream(r);
+  EBLCIO_CHECK_STREAM(p.codes.size() == ncodes,
+                      "interp: code count mismatch");
+  return p;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,62 @@
+// Multi-level multidimensional interpolation engine shared by SZ3 and QoZ.
+//
+// Implements the SZ3 prediction scheme (Zhao et al., ICDE'21): values on a
+// coarse power-of-two anchor grid are stored exactly; each refinement level
+// halves the stride, predicting the new grid points by cubic (or linear)
+// spline interpolation along one dimension at a time from already-
+// reconstructed neighbours, then quantizing the residual. QoZ reuses the
+// same engine with per-level error-bound tuning and a denser anchor grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/field.h"
+#include "compressors/compressor.h"
+
+namespace eblcio {
+
+struct InterpConfig {
+  // Anchor-grid stride (power of two). 0 = auto: smallest power of two
+  // >= every dimension (a single anchor when dims are powers of two).
+  std::size_t anchor_stride = 0;
+  // Per-level error-bound multiplier: eb(level) = abs_eb * pow(level_gamma,
+  // level - 1) with gamma <= 1 tightening coarse levels (QoZ); 1.0 = SZ3.
+  double level_gamma = 1.0;
+  // Cubic (4-point) vs linear (2-point) interpolation.
+  bool cubic = true;
+};
+
+struct InterpEncoding {
+  std::vector<std::uint32_t> codes;  // quantization codes, traversal order
+  Bytes anchors;                      // exact anchor values (raw T)
+  Bytes unpred;                       // exact unpredictable values (raw T)
+  std::uint32_t alphabet_size = 0;
+};
+
+// Compresses one field (or slab); deterministic traversal so decompression
+// can mirror it from (dims, abs_eb, config) alone.
+InterpEncoding interp_compress(const Field& field, double abs_eb,
+                               const InterpConfig& config);
+
+// Reconstructs a field from an InterpEncoding produced with identical
+// (dims, abs_eb, config).
+Field interp_decompress(const BlobHeader& header, const InterpConfig& config,
+                        std::span<const std::uint32_t> codes,
+                        std::span<const std::byte> anchors,
+                        std::span<const std::byte> unpred);
+
+// Serialization helpers shared by SZ3 and QoZ: payload =
+//   [config] [ncodes] [anchors] [unpred] [code stream backend blob].
+Bytes interp_payload_encode(const InterpConfig& config,
+                            const InterpEncoding& enc);
+struct InterpPayload {
+  InterpConfig config;
+  std::vector<std::uint32_t> codes;
+  std::span<const std::byte> anchors;
+  std::span<const std::byte> unpred;
+};
+InterpPayload interp_payload_decode(std::span<const std::byte> payload);
+
+}  // namespace eblcio

@@ -1,0 +1,71 @@
+// Linear-scale quantizer shared by the SZ-family compressors (SZ2, SZ3,
+// QoZ). Identical in spirit to SZ's error-controlled quantizer: prediction
+// residuals are mapped to integer codes on a 2*eb grid; residuals outside
+// the code capacity (or failing the round-trip check) are flagged
+// "unpredictable" and stored exactly.
+//
+// The round-trip check is performed against the value *after casting to the
+// field's storage type*: the decompressed field holds T, and for bounds
+// near T's precision the cast itself would otherwise push the error past
+// the bound.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace eblcio {
+
+class LinearQuantizer {
+ public:
+  // `abs_eb` is the absolute per-element error bound; `radius` gives code
+  // capacity 2*radius (SZ uses 32768 by default -> 65536-entry alphabet).
+  explicit LinearQuantizer(double abs_eb, std::uint32_t radius = 32768)
+      : eb_(abs_eb), eb2_(2.0 * abs_eb), radius_(radius) {}
+
+  std::uint32_t radius() const { return radius_; }
+  // Alphabet size for the entropy stage: code 0 = unpredictable.
+  std::uint32_t alphabet_size() const { return 2 * radius_ + 1; }
+  double abs_eb() const { return eb_; }
+
+  // Quantizes `value` against `pred` for a field stored as T. On success
+  // returns a nonzero code and sets *recon to the exact value the
+  // decompressor will materialize (T-cast, then widened); guaranteed
+  // |*recon - value| <= eb. Returns 0 if unquantizable; the caller stores
+  // the value exactly.
+  template <typename T>
+  std::uint32_t quantize(double value, double pred, double* recon) const {
+    const double diff = value - pred;
+    if (eb2_ <= 0.0) {
+      // Degenerate bound (constant field under a relative bound): only an
+      // exact prediction is codable.
+      if (diff == 0.0) {
+        *recon = value;
+        return radius_;
+      }
+      return 0;
+    }
+    const double qf = diff / eb2_;
+    if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
+    const auto q = static_cast<std::int64_t>(std::llround(qf));
+    const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
+    if (std::fabs(static_cast<double>(cast) - value) > eb_) return 0;
+    *recon = static_cast<double>(cast);
+    return static_cast<std::uint32_t>(q + static_cast<std::int64_t>(radius_));
+  }
+
+  // Inverse mapping for a nonzero code; the caller casts the result to T
+  // and must track the cast value in its reconstruction state (mirroring
+  // what quantize() verified).
+  double recover(double pred, std::uint32_t code) const {
+    const auto q = static_cast<std::int64_t>(code) -
+                   static_cast<std::int64_t>(radius_);
+    return pred + static_cast<double>(q) * eb2_;
+  }
+
+ private:
+  double eb_;
+  double eb2_;
+  std::uint32_t radius_;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,463 @@
+#include "compressors/sz2.h"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/error.h"
+#include "compressors/backend.h"
+#include "compressors/chunking.h"
+#include "compressors/quantizer.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kRadius = 32768;
+
+// All fields are processed through a uniform 4D view: leading dimensions of
+// extent 1 are prepended, and the Lorenzo inclusion-exclusion masks over
+// size-1 dimensions vanish naturally.
+struct Geometry {
+  std::array<std::size_t, 4> dim{1, 1, 1, 1};
+  std::array<std::size_t, 4> stride{};
+  std::array<std::size_t, 4> block{1, 1, 1, 1};   // block edge per dim
+  std::array<std::size_t, 4> nblocks{1, 1, 1, 1}; // block grid
+  int real_dims = 1;
+  std::vector<unsigned> lorenzo_masks;  // nonzero masks over real dims
+  // Precomputed (linear offset, sign) per mask for the interior fast path.
+  std::vector<std::pair<std::size_t, double>> lorenzo_terms;
+
+  static Geometry from_dims(const std::vector<std::size_t>& dims) {
+    Geometry g;
+    g.real_dims = static_cast<int>(dims.size());
+    const int pad = 4 - g.real_dims;
+    for (int i = 0; i < g.real_dims; ++i) g.dim[pad + i] = dims[i];
+
+    // Block edges per dimensionality, as in SZ2 (256 / 16x16 / 6^3).
+    static constexpr std::array<std::array<std::size_t, 4>, 4> kEdges{{
+        {1, 1, 1, 256},
+        {1, 1, 16, 16},
+        {1, 6, 6, 6},
+        {6, 6, 6, 6},
+    }};
+    g.block = kEdges[g.real_dims - 1];
+
+    std::size_t acc = 1;
+    for (int d = 3; d >= 0; --d) {
+      g.stride[d] = acc;
+      acc *= g.dim[d];
+    }
+    for (int d = 0; d < 4; ++d)
+      g.nblocks[d] = (g.dim[d] + g.block[d] - 1) / g.block[d];
+
+    // Lorenzo neighbour masks: subsets of the real dimensions.
+    for (unsigned mask = 1; mask < 16; ++mask) {
+      bool ok = true;
+      for (int d = 0; d < 4; ++d)
+        if ((mask & (1u << d)) && g.dim[d] == 1) ok = false;
+      if (ok) g.lorenzo_masks.push_back(mask);
+    }
+    for (unsigned mask : g.lorenzo_masks) {
+      std::size_t off = 0;
+      for (int d = 0; d < 4; ++d)
+        if (mask & (1u << d)) off += g.stride[d];
+      g.lorenzo_terms.emplace_back(off,
+                                   (std::popcount(mask) & 1) ? 1.0 : -1.0);
+    }
+    return g;
+  }
+
+  // True when every active dimension's coordinate is nonzero, i.e. all
+  // Lorenzo neighbours exist and the precomputed-term fast path applies.
+  bool interior(const std::array<std::size_t, 4>& c) const {
+    for (int d = 0; d < 4; ++d)
+      if (c[d] == 0 && dim[d] > 1) return false;
+    return true;
+  }
+
+  std::size_t num_elements() const {
+    return dim[0] * dim[1] * dim[2] * dim[3];
+  }
+  std::size_t total_blocks() const {
+    return nblocks[0] * nblocks[1] * nblocks[2] * nblocks[3];
+  }
+};
+
+// Lorenzo prediction from a (partially filled) reconstruction buffer.
+// Out-of-range neighbours contribute zero, matching SZ's padding semantics.
+double lorenzo_predict(const Geometry& g, const double* recon,
+                       const std::array<std::size_t, 4>& c,
+                       std::size_t linear) {
+  if (g.interior(c)) {
+    double pred = 0.0;
+    for (const auto& [off, sign] : g.lorenzo_terms)
+      pred += sign * recon[linear - off];
+    return pred;
+  }
+  double pred = 0.0;
+  for (unsigned mask : g.lorenzo_masks) {
+    bool in_range = true;
+    std::size_t off = 0;
+    for (int d = 0; d < 4; ++d) {
+      if (!(mask & (1u << d))) continue;
+      if (c[d] == 0) {
+        in_range = false;
+        break;
+      }
+      off += g.stride[d];
+    }
+    if (!in_range) continue;
+    const double v = recon[linear - off];
+    pred += (std::popcount(mask) & 1) ? v : -v;
+  }
+  return pred;
+}
+
+struct RegressionCoeffs {
+  float b0 = 0.f;
+  std::array<float, 4> slope{};  // per uniform-4D dim (zeros for unit dims)
+};
+
+// Kernel state shared between the per-block passes.
+struct BlockRef {
+  std::array<std::size_t, 4> origin;
+  std::array<std::size_t, 4> extent;
+};
+
+// Enumerates blocks in row-major block-grid order.
+std::vector<BlockRef> enumerate_blocks(const Geometry& g) {
+  std::vector<BlockRef> blocks;
+  blocks.reserve(g.total_blocks());
+  std::array<std::size_t, 4> b{};
+  for (b[0] = 0; b[0] < g.nblocks[0]; ++b[0])
+    for (b[1] = 0; b[1] < g.nblocks[1]; ++b[1])
+      for (b[2] = 0; b[2] < g.nblocks[2]; ++b[2])
+        for (b[3] = 0; b[3] < g.nblocks[3]; ++b[3]) {
+          BlockRef ref;
+          for (int d = 0; d < 4; ++d) {
+            ref.origin[d] = b[d] * g.block[d];
+            ref.extent[d] =
+                std::min(g.block[d], g.dim[d] - ref.origin[d]);
+          }
+          blocks.push_back(ref);
+        }
+  return blocks;
+}
+
+// Least-squares plane fit over a block of raw values.
+template <typename T>
+RegressionCoeffs fit_regression(const Geometry& g, const T* data,
+                                const BlockRef& blk) {
+  RegressionCoeffs rc;
+  double n = 0.0, sum_x = 0.0;
+  std::array<double, 4> sum_u{}, sum_uu{}, sum_ux{};
+  std::array<std::size_t, 4> c{};
+  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
+    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
+      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
+        for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
+          std::size_t lin = 0;
+          for (int d = 0; d < 4; ++d)
+            lin += (blk.origin[d] + c[d]) * g.stride[d];
+          const double x = static_cast<double>(data[lin]);
+          n += 1.0;
+          sum_x += x;
+          for (int d = 0; d < 4; ++d) {
+            const auto u = static_cast<double>(c[d]);
+            sum_u[d] += u;
+            sum_uu[d] += u * u;
+            sum_ux[d] += u * x;
+          }
+        }
+  const double mean_x = sum_x / n;
+  double b0 = mean_x;
+  for (int d = 0; d < 4; ++d) {
+    const double mean_u = sum_u[d] / n;
+    const double var_u = sum_uu[d] / n - mean_u * mean_u;
+    const double cov = sum_ux[d] / n - mean_u * mean_x;
+    const double slope = var_u > 1e-12 ? cov / var_u : 0.0;
+    rc.slope[d] = static_cast<float>(slope);
+    b0 -= slope * mean_u;
+  }
+  rc.b0 = static_cast<float>(b0);
+  return rc;
+}
+
+double regression_predict(const RegressionCoeffs& rc,
+                          const std::array<std::size_t, 4>& local) {
+  double p = rc.b0;
+  for (int d = 0; d < 4; ++d)
+    p += static_cast<double>(rc.slope[d]) * static_cast<double>(local[d]);
+  return p;
+}
+
+// Decides the per-block predictor by comparing sampled absolute residuals
+// of raw-data Lorenzo vs. the regression plane (SZ2's selection heuristic).
+template <typename T>
+bool regression_wins(const Geometry& g, const T* data, const BlockRef& blk,
+                     const RegressionCoeffs& rc) {
+  double err_lorenzo = 0.0, err_reg = 0.0;
+  std::array<std::size_t, 4> c{};
+  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
+    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
+      for (c[2] = 0; c[2] < blk.extent[2]; c[2] += 2)
+        for (c[3] = 0; c[3] < blk.extent[3]; c[3] += 2) {  // sample stride 2
+          std::array<std::size_t, 4> gc;
+          std::size_t lin = 0;
+          for (int d = 0; d < 4; ++d) {
+            gc[d] = blk.origin[d] + c[d];
+            lin += gc[d] * g.stride[d];
+          }
+          const double x = static_cast<double>(data[lin]);
+          // Raw-data Lorenzo residual (approximation to the real residual).
+          double pred = 0.0;
+          if (g.interior(gc)) {
+            for (const auto& [off, sign] : g.lorenzo_terms)
+              pred += sign * static_cast<double>(data[lin - off]);
+          } else {
+            for (unsigned mask : g.lorenzo_masks) {
+              bool in_range = true;
+              std::size_t off = 0;
+              for (int d = 0; d < 4; ++d) {
+                if (!(mask & (1u << d))) continue;
+                if (gc[d] == 0) {
+                  in_range = false;
+                  break;
+                }
+                off += g.stride[d];
+              }
+              if (!in_range) continue;
+              const double v = static_cast<double>(data[lin - off]);
+              pred += (std::popcount(mask) & 1) ? v : -v;
+            }
+          }
+          err_lorenzo += std::fabs(x - pred);
+          err_reg += std::fabs(x - regression_predict(rc, c));
+        }
+  return err_reg < err_lorenzo;
+}
+
+struct SlabEncoding {
+  std::vector<std::uint32_t> codes;
+  Bytes mode_bits;      // 1 bit per block (regression?) for 2D/3D
+  Bytes coeffs;         // RegressionCoeffs for regression blocks, in order
+  Bytes unpred;         // raw T values for unpredictable points, in order
+};
+
+template <typename T>
+SlabEncoding compress_slab(const Field& field, double abs_eb) {
+  const NdArray<T>& arr = field.as<T>();
+  const Geometry g = Geometry::from_dims(arr.shape().dims_vector());
+  const T* data = arr.data();
+  const LinearQuantizer quant(abs_eb, kRadius);
+  const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
+
+  SlabEncoding enc;
+  enc.codes.reserve(g.num_elements());
+  std::vector<double> recon(g.num_elements(), 0.0);
+
+  const auto blocks = enumerate_blocks(g);
+  enc.mode_bits.assign((blocks.size() + 7) / 8, std::byte{0});
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const BlockRef& blk = blocks[bi];
+    RegressionCoeffs rc;
+    bool reg = false;
+    if (use_regression) {
+      rc = fit_regression(g, data, blk);
+      reg = regression_wins(g, data, blk, rc);
+      if (reg) {
+        enc.mode_bits[bi / 8] |= static_cast<std::byte>(1u << (bi % 8));
+        append_pod(enc.coeffs, rc);
+      }
+    }
+    std::array<std::size_t, 4> c{};
+    for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
+      for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
+        for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
+          for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
+            std::array<std::size_t, 4> gc;
+            std::size_t lin = 0;
+            for (int d = 0; d < 4; ++d) {
+              gc[d] = blk.origin[d] + c[d];
+              lin += gc[d] * g.stride[d];
+            }
+            const double x = static_cast<double>(data[lin]);
+            const double pred =
+                reg ? regression_predict(rc, c)
+                    : lorenzo_predict(g, recon.data(), gc, lin);
+            double r = 0.0;
+            const std::uint32_t code = quant.quantize<T>(x, pred, &r);
+            if (code == 0) {
+              append_pod<T>(enc.unpred, static_cast<T>(x));
+              r = x;
+            }
+            recon[lin] = r;
+            enc.codes.push_back(code);
+          }
+  }
+  return enc;
+}
+
+template <typename T>
+Field decompress_slab(const BlobHeader& header,
+                      std::span<const std::uint32_t> codes,
+                      std::span<const std::byte> mode_bits,
+                      ByteReader& coeffs, ByteReader& unpred) {
+  const Geometry g = Geometry::from_dims(header.dims);
+  const LinearQuantizer quant(header.abs_error_bound, kRadius);
+  const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
+
+  NdArray<T> arr(Shape{std::span<const std::size_t>(header.dims)});
+  std::vector<double> recon(g.num_elements(), 0.0);
+
+  const auto blocks = enumerate_blocks(g);
+  EBLCIO_CHECK_STREAM(mode_bits.size() >= (blocks.size() + 7) / 8,
+                      "SZ2: truncated block mode bits");
+  std::size_t code_idx = 0;
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const BlockRef& blk = blocks[bi];
+    const bool reg =
+        use_regression &&
+        (static_cast<unsigned>(mode_bits[bi / 8]) >> (bi % 8)) & 1u;
+    RegressionCoeffs rc;
+    if (reg) rc = coeffs.read_pod<RegressionCoeffs>();
+
+    std::array<std::size_t, 4> c{};
+    for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
+      for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
+        for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
+          for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
+            std::array<std::size_t, 4> gc;
+            std::size_t lin = 0;
+            for (int d = 0; d < 4; ++d) {
+              gc[d] = blk.origin[d] + c[d];
+              lin += gc[d] * g.stride[d];
+            }
+            EBLCIO_CHECK_STREAM(code_idx < codes.size(),
+                                "SZ2: code stream underrun");
+            const std::uint32_t code = codes[code_idx++];
+            T out;
+            if (code == 0) {
+              out = unpred.read_pod<T>();
+            } else {
+              const double pred =
+                  reg ? regression_predict(rc, c)
+                      : lorenzo_predict(g, recon.data(), gc, lin);
+              out = static_cast<T>(quant.recover(pred, code));
+            }
+            recon[lin] = static_cast<double>(out);
+            arr[lin] = out;
+          }
+  }
+  return Field("SZ2", std::move(arr));
+}
+
+}  // namespace
+
+Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
+  EBLCIO_CHECK_ARG(opt.mode != BoundMode::kLossless,
+                   "SZ2 is an error-bounded lossy compressor");
+  if (opt.threads > 1 && !supports(field, opt))
+    throw Unsupported(
+        "the OpenMP version of SZ2 does not support 1D or 4D data");
+
+  BlobHeader header;
+  header.codec = name();
+  header.dtype = field.dtype();
+  header.dims = field.shape().dims_vector();
+  header.abs_error_bound = absolute_bound_for(field, opt);
+  header.requested_mode = opt.mode;
+  header.requested_bound = opt.error_bound;
+
+  // Stage 1 (parallel over slabs): prediction + quantization.
+  const auto slabs = split_slabs(field, std::max(opt.threads, 1));
+  std::vector<SlabEncoding> encs(slabs.size());
+#pragma omp parallel for num_threads(std::max(opt.threads, 1)) \
+    schedule(dynamic)
+  for (std::size_t i = 0; i < slabs.size(); ++i) {
+    encs[i] = field.dtype() == DType::kFloat32
+                  ? compress_slab<float>(slabs[i], header.abs_error_bound)
+                  : compress_slab<double>(slabs[i], header.abs_error_bound);
+  }
+
+  // Stage 2 (serial, as in the reference implementation): one Huffman +
+  // lossless pass over the concatenated code stream.
+  std::vector<std::uint32_t> all_codes;
+  std::size_t total = 0;
+  for (const auto& e : encs) total += e.codes.size();
+  all_codes.reserve(total);
+  for (const auto& e : encs)
+    all_codes.insert(all_codes.end(), e.codes.begin(), e.codes.end());
+
+  Bytes out;
+  header.encode(out);
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(encs.size()));
+  for (const auto& e : encs) {
+    append_pod<std::uint64_t>(out, e.codes.size());
+    append_sized(out, e.mode_bits);
+    append_sized(out, e.coeffs);
+    append_sized(out, e.unpred);
+  }
+  Bytes code_blob = encode_code_stream(all_codes, 2 * kRadius + 1);
+  append_bytes(out, code_blob);
+  return out;
+}
+
+Field Sz2Compressor::decompress(std::span<const std::byte> blob,
+                                int threads) {
+  ByteReader r(blob);
+  const BlobHeader header = BlobHeader::decode(r);
+  const auto nslabs = r.read_pod<std::uint32_t>();
+  EBLCIO_CHECK_STREAM(nslabs >= 1, "SZ2: bad slab count");
+
+  struct SlabMeta {
+    std::uint64_t ncodes;
+    std::span<const std::byte> mode_bits, coeffs, unpred;
+  };
+  std::vector<SlabMeta> metas(nslabs);
+  for (auto& m : metas) {
+    m.ncodes = r.read_pod<std::uint64_t>();
+    m.mode_bits = read_sized(r);
+    m.coeffs = read_sized(r);
+    m.unpred = read_sized(r);
+  }
+  // Serial entropy decode of the global code stream.
+  auto codes = decode_code_stream(r);
+
+  // Parallel per-slab reconstruction.
+  std::vector<Field> slab_fields(nslabs);
+  std::vector<std::size_t> code_offsets(nslabs, 0);
+  {
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < nslabs; ++i) {
+      code_offsets[i] = off;
+      off += metas[i].ncodes;
+    }
+    EBLCIO_CHECK_STREAM(off == codes.size(), "SZ2: code stream size mismatch");
+  }
+#pragma omp parallel for num_threads(std::max(threads, 1)) schedule(dynamic)
+  for (std::uint32_t i = 0; i < nslabs; ++i) {
+    BlobHeader slab_header = header;
+    slab_header.dims[0] = slab_rows(header.dims[0], nslabs, i);
+    ByteReader coeffs(metas[i].coeffs);
+    ByteReader unpred(metas[i].unpred);
+    std::span<const std::uint32_t> slab_codes(
+        codes.data() + code_offsets[i], metas[i].ncodes);
+    slab_fields[i] =
+        header.dtype == DType::kFloat32
+            ? decompress_slab<float>(slab_header, slab_codes,
+                                     metas[i].mode_bits, coeffs, unpred)
+            : decompress_slab<double>(slab_header, slab_codes,
+                                      metas[i].mode_bits, coeffs, unpred);
+  }
+  return merge_slabs(slab_fields, header.dims, "SZ2");
+}
+
+}  // namespace eblcio

@@ -1,0 +1,110 @@
+#include "core/decision.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "compressors/compressor.h"
+#include "energy/powercap_monitor.h"
+#include "metrics/error_stats.h"
+
+namespace eblcio {
+namespace {
+
+// Centered sample region (at most 64 per dimension) so the advisor stays
+// cheap even on production-size fields.
+template <typename T>
+Field sample_region(const Field& field) {
+  const NdArray<T>& arr = field.as<T>();
+  const Shape& s = arr.shape();
+  const int nd = s.ndims();
+  std::vector<std::size_t> dims(nd), start(nd);
+  for (int d = 0; d < nd; ++d) {
+    dims[d] = std::min<std::size_t>(s.dim(d), 64);
+    start[d] = (s.dim(d) - dims[d]) / 2;
+  }
+  NdArray<T> sample(Shape{std::span<const std::size_t>(dims)});
+  const auto src_strides = s.strides();
+  const auto dst_strides = sample.shape().strides();
+  const std::size_t total = sample.num_elements();
+  for (std::size_t lin = 0; lin < total; ++lin) {
+    std::size_t rem = lin;
+    std::size_t src = 0;
+    for (int d = 0; d < nd; ++d) {
+      const std::size_t c = rem / dst_strides[d];
+      rem %= dst_strides[d];
+      src += (start[d] + c) * src_strides[d];
+    }
+    sample[lin] = arr.data()[src];
+  }
+  return Field(field.name(), std::move(sample));
+}
+
+double candidate_score(const AdvisorCandidate& c, Objective objective) {
+  if (!c.feasible) return -1.0;
+  switch (objective) {
+    case Objective::kMinEnergy:
+      return c.compress_j > 0 ? 1.0 / c.compress_j : 0.0;
+    case Objective::kMaxRatio:
+      return c.ratio;
+    case Objective::kBalanced:
+      return c.compress_j > 0 ? c.ratio / c.compress_j : c.ratio;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+AdvisorReport advise_compression(const Field& field,
+                                 const AdvisorConstraints& constraints) {
+  Field sample = field.dtype() == DType::kFloat32
+                     ? sample_region<float>(field)
+                     : sample_region<double>(field);
+  const CpuModel& cpu = cpu_model(constraints.cpu);
+  const std::vector<std::string>& codecs =
+      constraints.codecs.empty() ? eblc_names() : constraints.codecs;
+
+  AdvisorReport report;
+  for (const std::string& name : codecs) {
+    Compressor& comp = compressor(name);
+    for (double eb : constraints.error_bounds) {
+      CompressOptions opt;
+      opt.mode = BoundMode::kValueRangeRel;
+      opt.error_bound = eb;
+      if (!comp.supports(sample, opt)) continue;
+
+      AdvisorCandidate c;
+      c.codec = comp.name();
+      c.error_bound = eb;
+      try {
+        Bytes blob;
+        const double t = timed_s([&] { blob = comp.compress(sample, opt); });
+        const Field recon = comp.decompress(blob, 1);
+        const ErrorStats st = compute_error_stats(sample, recon);
+        c.ratio = compression_ratio(sample.size_bytes(), blob.size());
+        c.psnr_db = st.psnr_db;
+        PowercapMonitor monitor(cpu);
+        c.compress_j = monitor.record_compute("compress", t, 1).joules;
+        c.feasible = st.psnr_db >= constraints.psnr_min_db;
+      } catch (const Unsupported&) {
+        continue;
+      }
+      c.score = candidate_score(c, constraints.objective);
+      report.candidates.push_back(c);
+    }
+  }
+
+  std::sort(report.candidates.begin(), report.candidates.end(),
+            [](const AdvisorCandidate& a, const AdvisorCandidate& b) {
+              return a.score > b.score;
+            });
+  for (const auto& c : report.candidates)
+    if (c.feasible) {
+      report.recommendation = c;
+      break;
+    }
+  return report;
+}
+
+}  // namespace eblcio

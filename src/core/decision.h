@@ -1,0 +1,49 @@
+// Compression advisor: the "actionable takeaways" engine from the paper's
+// discussion (Sec. VII) turned into an API. Given a field, a quality floor
+// and an optimization objective, it trials the EBLC suite on a sampled
+// sub-region and recommends compressor + error bound.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/field.h"
+
+namespace eblcio {
+
+enum class Objective {
+  kMinEnergy,   // favour SZx/ZFP-style cheap compression
+  kMaxRatio,    // favour SZ3/QoZ-style aggressive reduction
+  kBalanced,    // ratio per joule
+};
+
+struct AdvisorConstraints {
+  double psnr_min_db = 60.0;           // Eq. 5 floor
+  Objective objective = Objective::kBalanced;
+  std::vector<double> error_bounds = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
+  std::vector<std::string> codecs;     // empty = all five EBLCs
+  std::string cpu = "9480";
+};
+
+struct AdvisorCandidate {
+  std::string codec;
+  double error_bound = 0.0;
+  double ratio = 0.0;
+  double psnr_db = 0.0;
+  double compress_j = 0.0;   // on the sample, platform-modeled
+  double score = 0.0;
+  bool feasible = false;     // meets the PSNR floor
+};
+
+struct AdvisorReport {
+  std::vector<AdvisorCandidate> candidates;  // sorted by descending score
+  // The winner (first feasible candidate); empty codec if none feasible.
+  AdvisorCandidate recommendation;
+};
+
+// Trials every (codec, bound) pair on a centered sample of `field` (fast)
+// and ranks them under the constraints.
+AdvisorReport advise_compression(const Field& field,
+                                 const AdvisorConstraints& constraints);
+
+}  // namespace eblcio

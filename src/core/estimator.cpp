@@ -1,0 +1,195 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Gathers a contiguous-rows sample (keeps neighbour structure intact so
+// residual statistics are representative; a strided scatter would not).
+template <typename T>
+std::vector<double> sample_rows(const NdArray<T>& arr,
+                                std::size_t max_sample, std::size_t* row_len) {
+  const Shape& s = arr.shape();
+  const std::size_t fastest = s.dim(s.ndims() - 1);
+  *row_len = fastest;
+  const std::size_t rows_total = arr.num_elements() / fastest;
+  const std::size_t rows_wanted =
+      std::max<std::size_t>(1, std::min(rows_total, max_sample / fastest));
+  const std::size_t stride = std::max<std::size_t>(1, rows_total / rows_wanted);
+
+  std::vector<double> out;
+  out.reserve(rows_wanted * fastest);
+  for (std::size_t r = 0; r < rows_total && out.size() + fastest <=
+                                                rows_wanted * fastest;
+       r += stride) {
+    const T* base = arr.data() + r * fastest;
+    for (std::size_t i = 0; i < fastest; ++i)
+      out.push_back(static_cast<double>(base[i]));
+  }
+  return out;
+}
+
+double entropy_bits(const std::map<std::int64_t, std::size_t>& hist,
+                    std::size_t total) {
+  double h = 0.0;
+  for (const auto& [code, count] : hist) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h += -p * std::log2(p);
+  }
+  return h;
+}
+
+// SZ-family: entropy of 1D Lorenzo-residual quantization codes on the
+// sample, plus the unpredictable/lossless-backend overhead terms.
+double sz_bits_per_value(const std::vector<double>& sample,
+                         std::size_t row_len, double abs_eb) {
+  if (abs_eb <= 0.0) return 64.0;
+  const double eb2 = 2.0 * abs_eb;
+  std::map<std::int64_t, std::size_t> hist;
+  std::size_t total = 0, unpred = 0;
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    if (i % row_len == 0) continue;  // no left neighbour
+    const double resid = sample[i] - sample[i - 1];
+    const double qf = resid / eb2;
+    if (std::fabs(qf) >= 32767.0) {
+      ++unpred;
+      continue;
+    }
+    ++hist[static_cast<std::int64_t>(std::llround(qf))];
+    ++total;
+  }
+  if (total == 0) return 32.0;
+  const double h = entropy_bits(hist, total);
+  const double unpred_frac =
+      static_cast<double>(unpred) / static_cast<double>(total + unpred);
+  // Huffman overhead above entropy ~0.15 bits; unpredictables cost raw
+  // storage; small constant for tables/markers.
+  return (1.0 - unpred_frac) * (h + 0.15) + unpred_frac * 32.0 + 0.1;
+}
+
+// SZx: per-128-block range gives the truncated width; constants for the
+// per-block side channel (min + width byte).
+double szx_bits_per_value(const std::vector<double>& sample, double abs_eb,
+                          int raw_bits) {
+  if (abs_eb <= 0.0) return static_cast<double>(raw_bits);
+  constexpr std::size_t kBlock = 128;
+  const double eb2 = 2.0 * abs_eb;
+  double bits = 0.0;
+  std::size_t blocks = 0;
+  for (std::size_t lo = 0; lo + kBlock <= sample.size(); lo += kBlock) {
+    double mn = sample[lo], mx = sample[lo];
+    for (std::size_t i = lo + 1; i < lo + kBlock; ++i) {
+      mn = std::min(mn, sample[i]);
+      mx = std::max(mx, sample[i]);
+    }
+    const double range = mx - mn;
+    double width;
+    if (range <= eb2) {
+      width = 0.0;  // constant block
+    } else {
+      width = std::ceil(std::log2(range / eb2 + 2.0));
+      if (width >= raw_bits) width = raw_bits;
+    }
+    bits += width * kBlock + 72.0;  // + block min (8B) and width byte
+    ++blocks;
+  }
+  if (blocks == 0) return static_cast<double>(raw_bits);
+  return bits / static_cast<double>(blocks * kBlock);
+}
+
+// ZFP fixed-accuracy: plane count from per-block max exponents; roughly
+// half the kept planes carry significant bits after the decorrelating
+// transform on smooth data, plus group-test overhead.
+double zfp_bits_per_value(const std::vector<double>& sample, double abs_eb,
+                          int dims) {
+  if (abs_eb <= 0.0) return 64.0;
+  const int minexp =
+      static_cast<int>(std::floor(std::log2(std::max(abs_eb, 1e-300))));
+  const std::size_t block = static_cast<std::size_t>(1)
+                            << (2 * std::min(dims, 3));
+  double bits = 0.0;
+  std::size_t blocks = 0;
+  for (std::size_t lo = 0; lo + block <= sample.size(); lo += block) {
+    double amax = 0.0, mean = 0.0;
+    for (std::size_t i = lo; i < lo + block; ++i) {
+      amax = std::max(amax, std::fabs(sample[i]));
+      mean += sample[i];
+    }
+    mean /= static_cast<double>(block);
+    if (amax == 0.0) {
+      bits += 1.0;
+      ++blocks;
+      continue;
+    }
+    int emax = 0;
+    std::frexp(amax, &emax);
+    const double maxprec = std::clamp<double>(
+        emax - minexp + 2.0 * (std::min(dims, 3) + 1), 0.0, 64.0);
+    // The transform concentrates the block mean into one DC coefficient;
+    // the per-value payload tracks the *AC* magnitude (deviation from the
+    // mean) against the tolerance floor, not the block maximum.
+    double payload = maxprec;  // DC coefficient
+    for (std::size_t i = lo; i < lo + block; ++i) {
+      const double ac = std::fabs(sample[i] - mean);
+      if (ac == 0.0) continue;
+      int e = 0;
+      std::frexp(ac, &e);
+      payload += std::clamp<double>(e - minexp + 2.0, 0.0, maxprec);
+    }
+    // Header + payload + ~1 group-test bit per encoded plane.
+    bits += 13.0 + payload + maxprec;
+    ++blocks;
+  }
+  if (blocks == 0) return 32.0;
+  return bits / static_cast<double>(blocks * block);
+}
+
+}  // namespace
+
+RatioEstimate estimate_ratio(const Field& field, const std::string& codec,
+                             double eb_rel, std::size_t max_sample) {
+  EBLCIO_CHECK_ARG(eb_rel > 0.0, "estimator needs a positive bound");
+  const auto range = field.value_range();
+  const double abs_eb = eb_rel * range.span();
+  const int raw_bits = static_cast<int>(dtype_size(field.dtype())) * 8;
+
+  std::size_t row_len = 1;
+  std::vector<double> sample =
+      field.dtype() == DType::kFloat32
+          ? sample_rows(field.as<float>(), max_sample, &row_len)
+          : sample_rows(field.as<double>(), max_sample, &row_len);
+
+  const std::string key = lower(codec);
+  double bits;
+  if (key == "szx") {
+    bits = szx_bits_per_value(sample, abs_eb, raw_bits);
+  } else if (key == "zfp") {
+    bits = zfp_bits_per_value(sample, abs_eb, field.ndims());
+  } else if (key == "sz2" || key == "sz3" || key == "qoz") {
+    bits = sz_bits_per_value(sample, row_len, abs_eb);
+  } else {
+    throw InvalidArgument("no ratio model for codec: " + codec);
+  }
+  bits = std::clamp(bits, 0.05, static_cast<double>(raw_bits));
+
+  RatioEstimate est;
+  est.bits_per_value = bits;
+  est.predicted_ratio = static_cast<double>(raw_bits) / bits;
+  est.sampled_values = sample.size();
+  return est;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,35 @@
+// zPerf-class gray-box compression estimation (the paper's ref. [51], Wang
+// et al., ToC'23, and the CR-modeling line of its ref. [39]).
+//
+// Predicts compression ratio for a (codec, bound) pair from cheap sampled
+// statistics of the field — no full compression run. Used to pre-screen
+// sweeps and by capacity planning ("how many devices will I need?") where
+// compressing petabytes to find out is not an option.
+//
+// Models (all operating on a strided sample of the field):
+//  * SZ-family (SZ2/SZ3/QoZ): predict Lorenzo residuals on the sample,
+//    quantize at the bound, and measure the empirical entropy of the code
+//    histogram — bits/value ≈ H(codes) + side-channel overhead.
+//  * SZx: per-block range statistics give the truncated-width distribution.
+//  * ZFP: per-block leading exponents give the fixed-accuracy plane count
+//    (emax - minexp + 2(d+1)) and the group-test overhead.
+#pragma once
+
+#include <string>
+
+#include "common/field.h"
+
+namespace eblcio {
+
+struct RatioEstimate {
+  double bits_per_value = 0.0;
+  double predicted_ratio = 0.0;
+  std::size_t sampled_values = 0;
+};
+
+// Estimates the compression ratio of `codec` on `field` at value-range
+// relative bound `eb_rel`. `max_sample` caps the number of sampled values.
+RatioEstimate estimate_ratio(const Field& field, const std::string& codec,
+                             double eb_rel, std::size_t max_sample = 262144);
+
+}  // namespace eblcio

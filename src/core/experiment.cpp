@@ -1,0 +1,55 @@
+#include "core/experiment.h"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+
+namespace eblcio {
+
+double t_critical_95(int n) {
+  EBLCIO_CHECK_ARG(n >= 2, "need at least two samples for a CI");
+  // Two-sided 95% critical values for df = 1..30.
+  static constexpr std::array<double, 30> kTable = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  const int df = n - 1;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+RepeatedStats run_repeated(const std::function<double()>& sample,
+                           const RepeatConfig& config) {
+  EBLCIO_CHECK_ARG(config.min_runs >= 2 && config.max_runs >= config.min_runs,
+                   "bad repeat configuration");
+  std::vector<double> values;
+  values.reserve(config.max_runs);
+
+  RepeatedStats st;
+  for (int i = 0; i < config.max_runs; ++i) {
+    values.push_back(sample());
+    if (static_cast<int>(values.size()) < config.min_runs) continue;
+
+    const auto n = static_cast<double>(values.size());
+    double mean = 0.0;
+    for (double v : values) mean += v;
+    mean /= n;
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= (n - 1.0);
+    const double sd = std::sqrt(var);
+    const double half =
+        t_critical_95(static_cast<int>(values.size())) * sd / std::sqrt(n);
+
+    st.mean = mean;
+    st.stddev = sd;
+    st.ci95_half = half;
+    st.runs = static_cast<int>(values.size());
+    if (mean == 0.0 || half / std::fabs(mean) <= config.target_rel_ci) break;
+  }
+  return st;
+}
+
+}  // namespace eblcio

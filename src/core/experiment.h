@@ -1,0 +1,32 @@
+// Repetition protocol from Sec. IV-C: "up to twenty-five runs of each
+// compression and decompression, or until achieving a 95% confidence
+// interval about the mean of the recorded energy."
+#pragma once
+
+#include <functional>
+
+namespace eblcio {
+
+struct RepeatedStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95_half = 0.0;  // half-width of the 95% confidence interval
+  int runs = 0;
+  double ci95_rel() const { return mean != 0.0 ? ci95_half / mean : 0.0; }
+};
+
+struct RepeatConfig {
+  int min_runs = 3;
+  int max_runs = 25;          // the paper's cap
+  double target_rel_ci = 0.05;  // stop once the 95% CI is within 5% of mean
+};
+
+// Runs `sample` repeatedly per the protocol and returns the statistics.
+RepeatedStats run_repeated(const std::function<double()>& sample,
+                           const RepeatConfig& config = {});
+
+// Two-sided 95% Student-t critical value for n-1 degrees of freedom
+// (n >= 2; clamped to the asymptotic 1.96 for large n).
+double t_critical_95(int n);
+
+}  // namespace eblcio

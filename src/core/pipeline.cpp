@@ -1,0 +1,93 @@
+#include "core/pipeline.h"
+
+#include "common/timer.h"
+#include "compressors/compressor.h"
+#include "io/io_tool.h"
+
+namespace eblcio {
+
+CompressionRecord run_compression(const Field& field,
+                                  const PipelineConfig& config,
+                                  Bytes* blob_out) {
+  Compressor& comp = compressor(config.codec);
+  const CpuModel& cpu = cpu_model(config.cpu);
+
+  CompressOptions opt;
+  opt.mode = BoundMode::kValueRangeRel;
+  opt.error_bound = config.error_bound;
+  opt.threads = config.threads;
+
+  CompressionRecord rec;
+  rec.codec = comp.name();
+  rec.error_bound = config.error_bound;
+  rec.threads = config.threads;
+  rec.original_bytes = field.size_bytes();
+
+  Bytes blob;
+  rec.host_compress_s = timed_s([&] { blob = comp.compress(field, opt); });
+  rec.compressed_bytes = blob.size();
+  rec.ratio = static_cast<double>(rec.original_bytes) /
+              static_cast<double>(blob.size());
+
+  Field recon;
+  const int decomp_threads =
+      comp.caps().parallel_decompress ? config.threads : 1;
+  rec.host_decompress_s =
+      timed_s([&] { recon = comp.decompress(blob, decomp_threads); });
+  rec.quality = compute_error_stats(field, recon);
+
+  PowercapMonitor monitor(cpu);
+  const auto ec =
+      monitor.record_compute("compress", rec.host_compress_s, config.threads);
+  const auto ed = monitor.record_compute("decompress", rec.host_decompress_s,
+                                         decomp_threads);
+  rec.compress_s = ec.seconds;
+  rec.compress_j = ec.joules;
+  rec.decompress_s = ed.seconds;
+  rec.decompress_j = ed.joules;
+  if (blob_out) *blob_out = std::move(blob);
+  return rec;
+}
+
+WriteRecord run_compress_write(const Field& field,
+                               const PipelineConfig& config,
+                               PfsSimulator& pfs) {
+  const CpuModel& cpu = cpu_model(config.cpu);
+  IoTool& io = io_tool(config.io_library);
+
+  WriteRecord rec;
+  rec.io_library = io.name();
+  Bytes blob;
+  rec.compression = run_compression(field, config, &blob);
+
+  const std::string base = "/pfs/" + field.name();
+  PowercapMonitor monitor(cpu);
+
+  const IoCost wc = io.write_blob(pfs, base + ".eblc." + io.name(),
+                                  field.name(), blob);
+  const auto wc_prep =
+      monitor.record_compute("write-prep", wc.prep_seconds, 1);
+  const auto wc_io = monitor.record_io("write", wc.transfer_seconds);
+  rec.write_compressed_s = wc_prep.seconds + wc_io.seconds;
+  rec.write_compressed_j = wc_prep.joules + wc_io.joules;
+
+  const IoCost wo = io.write_field(pfs, base + ".orig." + io.name(), field);
+  const auto wo_prep =
+      monitor.record_compute("write-orig-prep", wo.prep_seconds, 1);
+  const auto wo_io = monitor.record_io("write-orig", wo.transfer_seconds);
+  rec.write_original_s = wo_prep.seconds + wo_io.seconds;
+  rec.write_original_j = wo_prep.joules + wo_io.joules;
+
+  TradeoffMeasurement m;
+  m.compress_seconds = rec.compression.compress_s;
+  m.compress_joules = rec.compression.compress_j;
+  m.write_compressed_seconds = rec.write_compressed_s;
+  m.write_compressed_joules = rec.write_compressed_j;
+  m.write_original_seconds = rec.write_original_s;
+  m.write_original_joules = rec.write_original_j;
+  m.psnr_db = rec.compression.quality.psnr_db;
+  rec.verdict = evaluate_tradeoff(m, config.psnr_min_db);
+  return rec;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,76 @@
+// End-to-end measured pipelines — the orchestration the paper's harness
+// (LibPressio + PAPI + HDF5/NetCDF) performs for each experiment cell.
+//
+// Each runner really executes the codec kernels (timed on the host),
+// dilates the measured runtimes onto a Table-I platform, charges the node
+// power model through the simulated RAPL counters, and drives container
+// writes through the PFS simulator. Benches format the returned records
+// into the paper's tables and figures.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/field.h"
+#include "core/tradeoff.h"
+#include "energy/powercap_monitor.h"
+#include "io/pfs.h"
+#include "metrics/error_stats.h"
+
+namespace eblcio {
+
+struct PipelineConfig {
+  std::string codec = "SZ3";
+  double error_bound = 1e-3;       // value-range relative
+  int threads = 1;
+  std::string cpu = "9480";        // Table I platform (substring match)
+  std::string io_library = "HDF5"; // "HDF5" or "NetCDF"
+  double psnr_min_db = 60.0;       // Eq. 5 threshold
+};
+
+// One compression/decompression measurement (no I/O): Figs. 5, 7, 10.
+struct CompressionRecord {
+  std::string codec;
+  double error_bound = 0.0;
+  int threads = 1;
+  std::size_t original_bytes = 0;
+  std::size_t compressed_bytes = 0;
+  double ratio = 0.0;
+  // Host-measured kernel times.
+  double host_compress_s = 0.0;
+  double host_decompress_s = 0.0;
+  // Platform-dilated times and modeled energies.
+  double compress_s = 0.0;
+  double decompress_s = 0.0;
+  double compress_j = 0.0;
+  double decompress_j = 0.0;
+  ErrorStats quality;
+  double total_j() const { return compress_j + decompress_j; }
+  double total_s() const { return compress_s + decompress_s; }
+};
+
+// Runs compress + decompress on `field`, returning times/energies/quality.
+// When `blob_out` is non-null the compressed blob is handed back so callers
+// can write it without re-compressing.
+CompressionRecord run_compression(const Field& field,
+                                  const PipelineConfig& config,
+                                  Bytes* blob_out = nullptr);
+
+// Full single-node write experiment (Sec. IV-D, Fig. 11): compress, write
+// compressed via the I/O library, write the original as baseline, evaluate
+// the Sec. III conditions.
+struct WriteRecord {
+  CompressionRecord compression;
+  std::string io_library;
+  double write_compressed_s = 0.0;
+  double write_compressed_j = 0.0;
+  double write_original_s = 0.0;
+  double write_original_j = 0.0;
+  TradeoffVerdict verdict;
+};
+
+WriteRecord run_compress_write(const Field& field,
+                               const PipelineConfig& config,
+                               PfsSimulator& pfs);
+
+}  // namespace eblcio

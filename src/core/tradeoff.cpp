@@ -1,0 +1,24 @@
+#include "core/tradeoff.h"
+
+namespace eblcio {
+
+TradeoffVerdict evaluate_tradeoff(const TradeoffMeasurement& m,
+                                  double psnr_min_db) {
+  TradeoffVerdict v;
+  v.time_beneficial = m.compress_seconds + m.write_compressed_seconds <
+                      m.write_original_seconds;
+  v.energy_beneficial = m.compress_joules + m.write_compressed_joules <
+                        m.write_original_joules;
+  v.quality_acceptable = m.psnr_db >= psnr_min_db;
+
+  if (m.write_compressed_joules > 0.0)
+    v.io_energy_reduction = m.write_original_joules / m.write_compressed_joules;
+  const double total = m.compress_joules + m.write_compressed_joules;
+  if (total > 0.0)
+    v.total_energy_reduction = m.write_original_joules / total;
+  if (m.write_compressed_seconds > 0.0)
+    v.io_time_reduction = m.write_original_seconds / m.write_compressed_seconds;
+  return v;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,41 @@
+// The paper's Sec. III benefit conditions:
+//   Eq. 3 (time):    Tc + Tw(D') < Tw(D)
+//   Eq. 4 (energy):  Ec + Ew(D') < Ew(D)
+//   Eq. 5 (quality): PSNR(D, D̂) >= PSNR_min
+// Compression is worthwhile iff all three hold simultaneously.
+#pragma once
+
+namespace eblcio {
+
+struct TradeoffMeasurement {
+  // Compression phase.
+  double compress_seconds = 0.0;
+  double compress_joules = 0.0;
+  // Writing the compressed data D'.
+  double write_compressed_seconds = 0.0;
+  double write_compressed_joules = 0.0;
+  // Writing the original data D (the baseline).
+  double write_original_seconds = 0.0;
+  double write_original_joules = 0.0;
+  // Reconstruction quality.
+  double psnr_db = 0.0;
+};
+
+struct TradeoffVerdict {
+  bool time_beneficial = false;     // Eq. 3
+  bool energy_beneficial = false;   // Eq. 4
+  bool quality_acceptable = false;  // Eq. 5
+  bool beneficial() const {
+    return time_beneficial && energy_beneficial && quality_acceptable;
+  }
+
+  // Diagnostic ratios the paper reports.
+  double io_energy_reduction = 0.0;     // Ew(D) / Ew(D')  (Fig. 11 gap)
+  double total_energy_reduction = 0.0;  // Ew(D) / (Ec + Ew(D'))
+  double io_time_reduction = 0.0;       // Tw(D) / Tw(D')
+};
+
+TradeoffVerdict evaluate_tradeoff(const TradeoffMeasurement& m,
+                                  double psnr_min_db);
+
+}  // namespace eblcio

@@ -1,0 +1,90 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/error.h"
+#include "data/generators.h"
+
+namespace eblcio {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& dataset_catalog() {
+  // default_shrink keeps a default-size field in the 2-20 M element range so
+  // full paper sweeps finish in minutes on a workstation; --scale restores
+  // paper sizes.
+  static const std::vector<DatasetSpec> kCatalog = {
+      {"CESM", "Community Earth System Model, atmosphere variable (Tab. II)",
+       {26, 1800, 3600}, DType::kFloat32, 10.0},
+      {"HACC", "HACC cosmology particle x-coordinates (Tab. II)",
+       {280953867}, DType::kFloat32, 33.0},
+      {"NYX", "Nyx AMR cosmology baryon density (Tab. II)",
+       {512, 512, 512}, DType::kFloat32, 4.0},
+      {"S3D", "S3D turbulent-combustion state, 11 species (Tab. II)",
+       {11, 500, 500, 500}, DType::kFloat64, 6.25},
+      {"QMCPack", "QMCPack orbital amplitudes (Fig. 1)",
+       {288, 115, 69}, DType::kFloat32, 1.0},
+      {"ISABEL", "Hurricane Isabel pressure field (Fig. 1)",
+       {100, 500, 500}, DType::kFloat32, 2.5},
+      {"CESM-ATM", "CESM atmosphere variable (Fig. 1)",
+       {26, 1800, 3600}, DType::kFloat32, 10.0},
+      {"EXAFEL", "LCLS ExaFEL detector image stack (Fig. 1)",
+       {50, 512, 512}, DType::kFloat32, 2.0},
+  };
+  return kCatalog;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  const std::string key = lower(name);
+  for (const auto& spec : dataset_catalog())
+    if (lower(spec.name) == key) return spec;
+  throw InvalidArgument("unknown data set: " + name);
+}
+
+std::vector<std::size_t> scaled_dims(const DatasetSpec& spec, double scale) {
+  EBLCIO_CHECK_ARG(scale > 0.0 && scale <= 1.0,
+                   "scale must be in (0, 1]");
+  std::vector<std::size_t> dims = spec.paper_dims;
+  const bool has_field_dim =
+      dims.size() >= 3 && (spec.name == "CESM" || spec.name == "CESM-ATM" ||
+                           spec.name == "S3D");
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    if (has_field_dim && d == 0) continue;  // keep species/level count
+    const double scaled = static_cast<double>(dims[d]) * scale;
+    dims[d] = std::max<std::size_t>(8, static_cast<std::size_t>(scaled));
+  }
+  return dims;
+}
+
+Field generate_dataset_dims(const std::string& name,
+                            const std::vector<std::size_t>& dims,
+                            std::uint64_t seed) {
+  const std::string key = lower(name);
+  if (key == "cesm" || key == "cesm-atm") return generate_cesm(dims, seed);
+  if (key == "hacc") return generate_hacc(dims, seed);
+  if (key == "nyx") return generate_nyx(dims, seed);
+  if (key == "s3d") return generate_s3d(dims, seed);
+  if (key == "qmcpack") return generate_qmcpack(dims, seed);
+  if (key == "isabel") return generate_isabel(dims, seed);
+  if (key == "exafel") return generate_exafel(dims, seed);
+  throw InvalidArgument("unknown data set: " + name);
+}
+
+Field generate_dataset(const std::string& name, std::uint64_t seed) {
+  const DatasetSpec& spec = dataset_spec(name);
+  Field f = generate_dataset_dims(
+      name, scaled_dims(spec, 1.0 / spec.default_shrink), seed);
+  f.set_name(spec.name);
+  return f;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,51 @@
+// SDRBench-style data set catalogue (paper Table II plus the Fig. 1 sets).
+//
+// The paper benchmarks snapshots of real simulations (CESM, HACC, NYX, S3D,
+// QMCPack, ISABEL, EXAFEL). We do not have those files, so each entry here
+// is a *seeded synthetic generator* that reproduces the statistical
+// character that drives compressor behaviour: dimensionality, precision,
+// smoothness/entropy profile and dynamic range. See DESIGN.md §2 for the
+// substitution rationale.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/field.h"
+
+namespace eblcio {
+
+struct DatasetSpec {
+  std::string name;                    // catalogue key, e.g. "NYX"
+  std::string description;             // provenance note
+  std::vector<std::size_t> paper_dims; // dimensions used in the paper
+  DType dtype = DType::kFloat32;
+  // Divisor applied to paper_dims to obtain the library's default working
+  // size (keeps default bench runtimes sane; use scale=1.0 for paper size).
+  double default_shrink = 1.0;
+};
+
+// All catalogued data sets: CESM, HACC, NYX, S3D (Table II) and
+// QMCPack, ISABEL, CESM-ATM, EXAFEL (Fig. 1).
+const std::vector<DatasetSpec>& dataset_catalog();
+
+// Looks up a spec by (case-insensitive) name; throws InvalidArgument.
+const DatasetSpec& dataset_spec(const std::string& name);
+
+// Working dimensions for a spec at a given relative scale, where scale=1.0
+// means the full paper dimensions and e.g. 0.1 shrinks every dimension
+// (1D sets shrink in their only dimension; the leading "field count"
+// dimension of CESM/S3D is preserved).
+std::vector<std::size_t> scaled_dims(const DatasetSpec& spec, double scale);
+
+// Generates the data set at its *default working size* (paper dims shrunk
+// by default_shrink), deterministic in `seed`.
+Field generate_dataset(const std::string& name, std::uint64_t seed = 42);
+
+// Generates the data set with explicit dimensions.
+Field generate_dataset_dims(const std::string& name,
+                            const std::vector<std::size_t>& dims,
+                            std::uint64_t seed = 42);
+
+}  // namespace eblcio

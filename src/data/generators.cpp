@@ -1,0 +1,234 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "data/smooth_noise.h"
+
+namespace eblcio {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+Shape shape_of(const std::vector<std::size_t>& dims) {
+  return Shape{std::span<const std::size_t>(dims)};
+}
+
+}  // namespace
+
+Field generate_cesm(const std::vector<std::size_t>& dims,
+                    std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 3, "CESM expects [lev x lat x lon]");
+  const Shape shape = shape_of(dims);
+  Rng rng(seed);
+  const std::size_t nlev = dims[0], nlat = dims[1], nlon = dims[2];
+
+  // Weather noise shared across levels but progressively smoothed: one
+  // 2D multiscale layer per level with level-to-level correlation.
+  Shape plane({nlat, nlon});
+  auto weather = multiscale_field(plane, static_cast<int>(nlat / 8) + 1, 4,
+                                  0.55, rng);
+  auto weather2 = multiscale_field(plane, static_cast<int>(nlat / 8) + 1, 4,
+                                   0.55, rng);
+
+  NdArray<float> arr(shape);
+  for (std::size_t l = 0; l < nlev; ++l) {
+    // Temperature-like base: warm equator, cold poles, lapse with altitude.
+    const double level_t = 288.0 - 60.0 * static_cast<double>(l) /
+                                        static_cast<double>(nlev);
+    const double blend = static_cast<double>(l) / std::max<std::size_t>(
+                                                      nlev - 1, 1);
+    for (std::size_t i = 0; i < nlat; ++i) {
+      const double lat = kPi * (static_cast<double>(i) /
+                                    static_cast<double>(nlat - 1) - 0.5);
+      const double banding = 40.0 * std::cos(lat) * std::cos(lat);
+      for (std::size_t j = 0; j < nlon; ++j) {
+        const std::size_t p = i * nlon + j;
+        const double w = (1.0 - blend) * weather[p] + blend * weather2[p];
+        arr.at(l, i, j) = static_cast<float>(level_t + banding + 3.0 * w);
+      }
+    }
+  }
+  return Field("CESM", std::move(arr));
+}
+
+Field generate_hacc(const std::vector<std::size_t>& dims,
+                    std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 1, "HACC expects a 1D particle array");
+  const std::size_t n = dims[0];
+  Rng rng(seed);
+  NdArray<float> arr(Shape{n});
+
+  // Particles arrive halo by halo: the halo center wanders slowly through
+  // the 256 Mpc box while members scatter around it with ~1% of the box
+  // size. Consecutive particles are therefore correlated (predictable at
+  // loose bounds) but the jitter floors the compression ratio near 2.7x at
+  // eb = 1e-5, matching Table III.
+  const double box = 256.0;
+  double center = rng.uniform(0.0, box);
+  std::size_t halo_left = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (halo_left == 0) {
+      halo_left = 16 + rng.next_below(240);
+      center += rng.normal() * 4.0;
+      center = std::fmod(std::fmod(center, box) + box, box);
+    }
+    const double jitter = rng.normal() * 0.01 * box;
+    double x = center + jitter;
+    x = std::clamp(x, 0.0, box);
+    arr[i] = static_cast<float>(x);
+    --halo_left;
+  }
+  return Field("HACC", std::move(arr));
+}
+
+Field generate_nyx(const std::vector<std::size_t>& dims,
+                   std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 3, "NYX expects a 3D grid");
+  const Shape shape = shape_of(dims);
+  Rng rng(seed);
+
+  // Baryon density: exp of a correlated Gaussian field plus fine-scale
+  // detail. Dense peaks dominate the value range (max/typical ~1e2), so a
+  // loose relative bound swallows nearly all structure (Tab. III: CR ~1e5
+  // at 1e-1) while tight bounds must encode the small-scale texture and
+  // the ratio collapses (~14 at 1e-5).
+  auto g = smooth_gaussian_field(shape, static_cast<int>(dims[0] / 16) + 1,
+                                 rng);
+  auto fine = smooth_gaussian_field(shape, 1, rng);
+  NdArray<float> arr(shape);
+  for (std::size_t i = 0; i < arr.num_elements(); ++i)
+    arr[i] = static_cast<float>(
+        1e8 * std::exp(1.3 * g[i] + 0.02 * fine[i]));
+  return Field("NYX", std::move(arr));
+}
+
+Field generate_s3d(const std::vector<std::size_t>& dims,
+                   std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 4, "S3D expects [species x Z x Y x X]");
+  const std::size_t ns = dims[0], nz = dims[1], ny = dims[2], nx = dims[3];
+  Rng rng(seed);
+
+  // Shared flame-front geometry: a smooth surface z = f(x, y) perturbed by
+  // multiscale noise; each species reacts at a shifted offset with its own
+  // magnitude, giving the 11 correlated fields of the S3D snapshot.
+  Shape plane({ny, nx});
+  auto front = multiscale_field(plane, static_cast<int>(ny / 6) + 1, 3, 0.5,
+                                rng);
+  Shape vol({nz, ny, nx});
+  auto turb = smooth_gaussian_field(vol, static_cast<int>(ny / 10) + 1, rng);
+
+  NdArray<double> arr(shape_of(dims));
+  for (std::size_t s = 0; s < ns; ++s) {
+    const double offset = 0.25 + 0.5 * static_cast<double>(s) /
+                                      static_cast<double>(ns);
+    const double mag = std::pow(10.0, -static_cast<double>(s % 4));
+    const double width = 12.0 + 2.0 * static_cast<double>(s);
+    for (std::size_t z = 0; z < nz; ++z) {
+      const double zf = static_cast<double>(z) / static_cast<double>(nz);
+      for (std::size_t y = 0; y < ny; ++y)
+        for (std::size_t x = 0; x < nx; ++x) {
+          const double f = front[y * nx + x];
+          const double t = turb[(z * ny + y) * nx + x];
+          const double arg = width * (zf - offset - 0.05 * f);
+          const double v = mag * (0.5 + 0.5 * std::tanh(arg)) *
+                           (1.0 + 0.02 * t);
+          arr.at(s, z, y, x) = v;
+        }
+    }
+  }
+  return Field("S3D", std::move(arr));
+}
+
+Field generate_qmcpack(const std::vector<std::size_t>& dims,
+                       std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 3, "QMCPack expects a 3D grid");
+  const Shape shape = shape_of(dims);
+  Rng rng(seed);
+  auto g = smooth_gaussian_field(shape, static_cast<int>(dims[0] / 12) + 1,
+                                 rng);
+
+  // Orbital-like standing wave modulated by a decaying envelope.
+  NdArray<float> arr(shape);
+  const std::size_t nz = dims[0], ny = dims[1], nx = dims[2];
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z) {
+    const double fz = static_cast<double>(z) / static_cast<double>(nz);
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double fy = static_cast<double>(y) / static_cast<double>(ny);
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        const double fx = static_cast<double>(x) / static_cast<double>(nx);
+        const double wave = std::sin(3 * kPi * fx) * std::sin(2 * kPi * fy) *
+                            std::sin(4 * kPi * fz);
+        const double r2 = (fx - 0.5) * (fx - 0.5) + (fy - 0.5) * (fy - 0.5) +
+                          (fz - 0.5) * (fz - 0.5);
+        arr[idx] = static_cast<float>(wave * std::exp(-4.0 * r2) +
+                                      0.01 * g[idx]);
+      }
+    }
+  }
+  return Field("QMCPack", std::move(arr));
+}
+
+Field generate_isabel(const std::vector<std::size_t>& dims,
+                      std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 3, "ISABEL expects a 3D grid");
+  const Shape shape = shape_of(dims);
+  Rng rng(seed);
+  auto g = smooth_gaussian_field(shape, static_cast<int>(dims[1] / 10) + 1,
+                                 rng);
+
+  // Hurricane pressure: deep radial low spiralling around a tilted eye.
+  NdArray<float> arr(shape);
+  const std::size_t nz = dims[0], ny = dims[1], nx = dims[2];
+  std::size_t idx = 0;
+  for (std::size_t z = 0; z < nz; ++z) {
+    const double fz = static_cast<double>(z) / static_cast<double>(nz);
+    const double cx = 0.5 + 0.1 * std::sin(2 * kPi * fz);
+    const double cy = 0.5 + 0.1 * std::cos(2 * kPi * fz);
+    for (std::size_t y = 0; y < ny; ++y) {
+      const double fy = static_cast<double>(y) / static_cast<double>(ny);
+      for (std::size_t x = 0; x < nx; ++x, ++idx) {
+        const double fx = static_cast<double>(x) / static_cast<double>(nx);
+        const double r = std::sqrt((fx - cx) * (fx - cx) +
+                                   (fy - cy) * (fy - cy));
+        const double pressure =
+            1013.0 - 80.0 * std::exp(-30.0 * r * r) * (1.0 - fz * 0.5);
+        arr[idx] = static_cast<float>(pressure + 1.5 * g[idx]);
+      }
+    }
+  }
+  return Field("ISABEL", std::move(arr));
+}
+
+Field generate_exafel(const std::vector<std::size_t>& dims,
+                      std::uint64_t seed) {
+  EBLCIO_CHECK_ARG(dims.size() == 3, "EXAFEL expects [events x H x W]");
+  const Shape shape = shape_of(dims);
+  Rng rng(seed);
+  NdArray<float> arr(shape);
+  const std::size_t ne = dims[0], nh = dims[1], nw = dims[2];
+
+  for (std::size_t e = 0; e < ne; ++e) {
+    // Detector background: low-level readout noise.
+    for (std::size_t i = 0; i < nh * nw; ++i)
+      arr[e * nh * nw + i] = static_cast<float>(10.0 + rng.normal() * 2.0);
+    // Bragg-like peaks: sparse, bright, few-pixel footprints.
+    const std::size_t npeaks = 30 + rng.next_below(40);
+    for (std::size_t p = 0; p < npeaks; ++p) {
+      const std::size_t py = 2 + rng.next_below(nh - 4);
+      const std::size_t px = 2 + rng.next_below(nw - 4);
+      const double amp = 500.0 + 4000.0 * rng.next_double();
+      for (std::int64_t dy = -2; dy <= 2; ++dy)
+        for (std::int64_t dx = -2; dx <= 2; ++dx) {
+          const double fall = std::exp(-0.8 * (dy * dy + dx * dx));
+          auto& pix = arr[e * nh * nw + (py + dy) * nw + (px + dx)];
+          pix += static_cast<float>(amp * fall);
+        }
+    }
+  }
+  return Field("EXAFEL", std::move(arr));
+}
+
+}  // namespace eblcio

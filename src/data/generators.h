@@ -1,0 +1,40 @@
+// Per-data-set synthetic field generators. See dataset.h for the catalogue
+// and DESIGN.md §2 for what each generator imitates and why.
+#pragma once
+
+#include <cstdint>
+
+#include "common/field.h"
+
+namespace eblcio {
+
+// CESM / CESM-ATM: climate fields, [levels x lat x lon]; smooth latitudinal
+// banding plus multiscale weather noise. Highly compressible.
+Field generate_cesm(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+// HACC: 1D particle coordinates; halo-clustered, locally correlated with a
+// ~1% jitter so compression ratios collapse at tight bounds (Table III).
+Field generate_hacc(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+// NYX: 3D baryon density; log-normal with huge dynamic range, so value-range
+// relative bounds at 1e-1 swallow almost all structure (CR ~1e5 in Tab. III).
+Field generate_nyx(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+// S3D: [species x Z x Y x X] double-precision combustion state; smooth
+// flame fronts (sigmoids) advected per species.
+Field generate_s3d(const std::vector<std::size_t>& dims, std::uint64_t seed);
+
+// QMCPack: 3D orbital amplitudes; smooth oscillatory product states.
+Field generate_qmcpack(const std::vector<std::size_t>& dims,
+                       std::uint64_t seed);
+
+// ISABEL: 3D hurricane pressure field; radial vortex plus smooth noise.
+Field generate_isabel(const std::vector<std::size_t>& dims,
+                      std::uint64_t seed);
+
+// EXAFEL: 2D detector image stack; dark background with Poisson-like bright
+// peaks — hostile to both lossless and lossy coding.
+Field generate_exafel(const std::vector<std::size_t>& dims,
+                      std::uint64_t seed);
+
+}  // namespace eblcio

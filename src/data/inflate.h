@@ -1,0 +1,18 @@
+// Data-set inflation for the Fig. 13 scaling study.
+//
+// The paper grows NYX by multiplying each dimension by 2..5 ("maintains the
+// statistical properties and spatial patterns of the original simulation").
+// We reproduce that with multilinear upsampling plus a small high-frequency
+// dither so the inflated field is not artificially smoother (and hence not
+// artificially more compressible) than the original.
+#pragma once
+
+#include "common/field.h"
+
+namespace eblcio {
+
+// Returns a field whose every dimension is `factor` times larger.
+// factor >= 1; factor == 1 returns a copy.
+Field inflate_field(const Field& input, int factor);
+
+}  // namespace eblcio

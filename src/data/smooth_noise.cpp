@@ -1,0 +1,101 @@
+#include "data/smooth_noise.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace eblcio {
+namespace {
+
+// 1D sliding-window box blur along one axis of a row-major array.
+void blur_axis(std::vector<double>& data, const Shape& shape, int axis,
+               int radius) {
+  if (radius <= 0) return;
+  const auto strides = shape.strides();
+  const std::size_t len = shape.dim(axis);
+  if (len <= 1) return;
+  const std::size_t stride = strides[axis];
+  const std::size_t n = shape.num_elements();
+  const std::size_t num_lines = n / len;
+
+  std::vector<double> line(len);
+  // Enumerate all 1D lines along `axis`: iterate over all index tuples with
+  // the axis coordinate fixed to zero.
+  for (std::size_t lineno = 0; lineno < num_lines; ++lineno) {
+    // Convert line number to a base offset, skipping the blurred axis.
+    std::size_t rem = lineno;
+    std::size_t base = 0;
+    for (int d = shape.ndims() - 1; d >= 0; --d) {
+      if (d == axis) continue;
+      const std::size_t dim = shape.dim(d);
+      base += (rem % dim) * strides[d];
+      rem /= dim;
+    }
+    // Sliding-window mean with periodic boundaries (keeps the field
+    // variance stationary; clamping would inflate corner variance and
+    // produce unphysical outliers after standardization).
+    const int r = static_cast<int>(std::min<std::size_t>(radius, len - 1));
+    double acc = 0.0;
+    const auto slen = static_cast<std::int64_t>(len);
+    auto sample = [&](std::int64_t i) {
+      i %= slen;
+      if (i < 0) i += slen;
+      return data[base + static_cast<std::size_t>(i) * stride];
+    };
+    for (std::int64_t i = -r; i <= r; ++i) acc += sample(i);
+    const double inv = 1.0 / (2 * r + 1);
+    for (std::size_t i = 0; i < len; ++i) {
+      line[i] = acc * inv;
+      acc += sample(static_cast<std::int64_t>(i) + r + 1) -
+             sample(static_cast<std::int64_t>(i) - r);
+    }
+    for (std::size_t i = 0; i < len; ++i) data[base + i * stride] = line[i];
+  }
+}
+
+}  // namespace
+
+void box_blur(std::vector<double>& data, const Shape& shape, int radius,
+              int passes) {
+  for (int p = 0; p < passes; ++p)
+    for (int axis = 0; axis < shape.ndims(); ++axis)
+      blur_axis(data, shape, axis, radius);
+}
+
+std::vector<double> white_noise(const Shape& shape, Rng& rng) {
+  std::vector<double> data(shape.num_elements());
+  for (auto& v : data) v = rng.normal();
+  return data;
+}
+
+std::vector<double> smooth_gaussian_field(const Shape& shape, int radius,
+                                          Rng& rng) {
+  auto data = white_noise(shape, rng);
+  box_blur(data, shape, radius);
+  // Re-standardize: blurring shrinks the variance substantially.
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= static_cast<double>(data.size());
+  double var = 0.0;
+  for (double v : data) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(data.size());
+  const double inv_sd = var > 0 ? 1.0 / std::sqrt(var) : 1.0;
+  for (auto& v : data) v = (v - mean) * inv_sd;
+  return data;
+}
+
+std::vector<double> multiscale_field(const Shape& shape, int base_radius,
+                                     int octaves, double persistence,
+                                     Rng& rng) {
+  std::vector<double> acc(shape.num_elements(), 0.0);
+  double amp = 1.0;
+  int radius = base_radius;
+  for (int o = 0; o < octaves; ++o) {
+    auto layer = smooth_gaussian_field(shape, std::max(radius, 1), rng);
+    for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += amp * layer[i];
+    amp *= persistence;
+    radius = std::max(1, radius / 2);
+  }
+  return acc;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,35 @@
+// Band-limited random field synthesis.
+//
+// Scientific fields are "smooth noise": energy concentrated at low spatial
+// frequencies. We synthesize them as white noise passed through repeated
+// separable box blurs (three passes approximate a Gaussian kernel), which is
+// O(N) per pass regardless of kernel width.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ndarray.h"
+#include "common/rng.h"
+
+namespace eblcio {
+
+// In-place separable box blur of a row-major field; radius per dimension.
+void box_blur(std::vector<double>& data, const Shape& shape, int radius,
+              int passes = 3);
+
+// White Gaussian noise field with the given shape.
+std::vector<double> white_noise(const Shape& shape, Rng& rng);
+
+// Smooth correlated Gaussian field: white noise blurred with `radius`,
+// re-standardized to zero mean / unit variance.
+std::vector<double> smooth_gaussian_field(const Shape& shape, int radius,
+                                          Rng& rng);
+
+// Multi-octave field: sum of smooth fields at halving radii and amplitudes
+// (fractal character typical of turbulence / climate fields).
+std::vector<double> multiscale_field(const Shape& shape, int base_radius,
+                                     int octaves, double persistence,
+                                     Rng& rng);
+
+}  // namespace eblcio

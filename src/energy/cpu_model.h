@@ -1,0 +1,62 @@
+// Platform catalogue and node power model (paper Table I).
+//
+// The paper measures energy on three Intel Xeon platforms via RAPL. We do
+// not have that hardware, so each platform is a parameter set: per-package TDP
+// and idle power (power model endpoints) and a speed factor that dilates
+// *really measured* kernel runtimes onto the target platform. Energy is
+// then runtime x modeled power, exactly the E = Σ P(tᵢ)Δt accounting of
+// Sec. IV-B. All cross-platform claims reproduced by the benches are
+// ordinal (newer CPU => faster and more energy-efficient), which is what
+// this parameterization encodes; see DESIGN.md §2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace eblcio {
+
+struct CpuModel {
+  std::string name;        // e.g. "Intel Xeon CPU Max 9480"
+  std::string system;      // hosting system from Table I
+  std::string generation;  // microarchitecture
+  int cores = 1;           // cores per node (Table I)
+  int packages = 2;        // RAPL zones (PACKAGE_0 / PACKAGE_1)
+  std::string memory;      // RAM column of Table I
+  double tdp_w = 0.0;      // per-package TDP (Table I)
+  double idle_w = 0.0;     // per-package idle power
+  double active_core_w = 0.0;  // incremental power per busy core
+  double speed_factor = 1.0;   // single-thread speed vs. calibration host
+  double io_interface_w = 0.0; // extra node power while driving I/O
+
+  // Node power with `busy_cores` cores active (both packages).
+  double node_power_w(int busy_cores) const;
+  // Node power while blocked on I/O (mostly idle + interface power).
+  double io_power_w() const;
+
+  // --- DVFS extension (after Wilkins & Calhoun, IPDPSW'22 — the paper's
+  // ref. [21], which models lossy-compression power under frequency
+  // scaling). `freq_scale` is relative to nominal (1.0): compute-bound
+  // kernel runtime stretches by 1/freq_scale while the active power
+  // component scales ~ f^2.4 (voltage tracks frequency); idle power is
+  // frequency-independent.
+  static constexpr double kDvfsPowerExponent = 2.4;
+  double node_power_w_at(int busy_cores, double freq_scale) const;
+  // Energy for a compute phase of `nominal_seconds` (at freq 1.0) run at
+  // `freq_scale` with `busy_cores` cores: P(f) * t/f. Minimized at an
+  // interior frequency when idle power is non-negligible.
+  double compute_energy_j(double nominal_seconds, int busy_cores,
+                          double freq_scale) const;
+};
+
+// The three platforms of Table I. Index 0 = PSC 8260M, 1 = TACC MAX 9480,
+// 2 = TACC 8160, matching the figure rows of the paper.
+const std::vector<CpuModel>& cpu_catalog();
+
+// Case-insensitive substring lookup ("9480", "8160", "8260M").
+const CpuModel& cpu_model(const std::string& name);
+
+// The platform used when a bench needs a single default (Intel Xeon CPU MAX
+// 9480, the paper's most frequent subject).
+const CpuModel& default_cpu();
+
+}  // namespace eblcio

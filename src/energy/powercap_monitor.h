@@ -1,0 +1,68 @@
+// PAPI-style region energy monitor over the simulated RAPL counters.
+//
+// The paper instruments compression and I/O phases with PAPI reads of the
+// powercap counters (Sec. IV-B/IV-C, Fig. 4). This monitor plays that role:
+// benches record each *really measured* kernel runtime here; the monitor
+// dilates it onto the target platform (speed factor), applies the node
+// power model at the phase's utilization, and integrates energy through
+// RaplSimulator with discrete sampling — E = Σ P(tᵢ)Δt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "energy/cpu_model.h"
+#include "energy/rapl_sim.h"
+
+namespace eblcio {
+
+struct EnergyReading {
+  double seconds = 0.0;  // platform (simulated) time
+  double joules = 0.0;
+  int samples = 0;       // discrete RAPL samples taken
+  double avg_watts() const { return seconds > 0 ? joules / seconds : 0.0; }
+};
+
+// A labeled phase inside a measured region ("compress", "decompress",
+// "write"), so benches can report stacked energy like Figs. 7/10/12.
+struct PhaseEnergy {
+  std::string label;
+  EnergyReading reading;
+};
+
+class PowercapMonitor {
+ public:
+  explicit PowercapMonitor(const CpuModel& cpu, double sample_dt_s = 0.01);
+
+  const CpuModel& cpu() const { return *cpu_; }
+
+  // Records a compute phase measured on the calibration host: wall time is
+  // divided by the platform speed factor and charged at `threads` busy
+  // cores. Returns this phase's reading.
+  EnergyReading record_compute(const std::string& label, double host_seconds,
+                               int threads);
+
+  // Records an I/O wait phase of `seconds` *platform* time (I/O time comes
+  // from the PFS simulator, already in platform time).
+  EnergyReading record_io(const std::string& label, double seconds);
+
+  // Records an explicit (seconds, watts) segment, e.g. from simmpi.
+  EnergyReading record_raw(const std::string& label, double seconds,
+                           double watts);
+
+  const std::vector<PhaseEnergy>& phases() const { return phases_; }
+  EnergyReading total() const;
+  const RaplSimulator& rapl() const { return rapl_; }
+  void reset();
+
+ private:
+  EnergyReading integrate(const std::string& label, double seconds,
+                          double watts);
+
+  const CpuModel* cpu_;
+  double sample_dt_s_;
+  RaplSimulator rapl_;
+  std::vector<PhaseEnergy> phases_;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,29 @@
+#include "energy/rapl_sim.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eblcio {
+
+void RaplSimulator::advance(double seconds, double node_watts) {
+  EBLCIO_CHECK_ARG(seconds >= 0.0 && node_watts >= 0.0,
+                   "negative time or power");
+  elapsed_s_ += seconds;
+  const double per_pkg_uj = node_watts * seconds * 1e6 / kPackages;
+  for (auto& e : exact_uj_) e += per_pkg_uj;
+}
+
+std::uint64_t RaplSimulator::package_energy_uj(int package) const {
+  EBLCIO_CHECK_ARG(package >= 0 && package < kPackages, "bad package index");
+  const auto uj = static_cast<std::uint64_t>(exact_uj_[package]);
+  return uj % kWrap;
+}
+
+double RaplSimulator::total_joules() const {
+  double uj = 0.0;
+  for (double e : exact_uj_) uj += e;
+  return uj * 1e-6;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,40 @@
+// Simulated RAPL (Running Average Power Limit) counters.
+//
+// Mirrors the powercap interface the paper reads (Sec. IV-B, Fig. 3): two
+// package zones whose energy counters advance as power is drawn over time.
+// Power traces are fed in by the PowercapMonitor; the counters quantize to
+// microjoules and wrap at 32 bits of microjoules like the real MSRs, so the
+// reader has to handle wraparound exactly as PAPI does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace eblcio {
+
+class RaplSimulator {
+ public:
+  static constexpr int kPackages = 2;
+  // Real RAPL energy-status counters wrap at 2^32 microjoule units.
+  static constexpr std::uint64_t kWrap = std::uint64_t{1} << 32;
+
+  // Advances simulated time by `seconds` with the node drawing
+  // `node_watts`, split evenly between packages (our workloads are
+  // symmetric across sockets).
+  void advance(double seconds, double node_watts);
+
+  // Raw counter value (microjoules, wrapping) for a package zone.
+  std::uint64_t package_energy_uj(int package) const;
+
+  // Total unwrapped energy in joules across both packages
+  // (E_CPU = E_P0 + E_P1, Eq. 6).
+  double total_joules() const;
+
+  double elapsed_seconds() const { return elapsed_s_; }
+
+ private:
+  std::array<double, kPackages> exact_uj_{};  // unwrapped, for bookkeeping
+  double elapsed_s_ = 0.0;
+};
+
+}  // namespace eblcio

@@ -1,0 +1,191 @@
+#include "io/adioslite.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kBpMagic = 0x4f494442;  // "BDIO"
+constexpr std::uint32_t kFooterMagic = 0x52544f46;  // "FOTR"
+
+// BP-style writes go straight from the application buffer in large
+// sequential segments: the cheapest prep path of the three tools.
+constexpr double kPrepBandwidthBps = 8.0e9;
+constexpr double kPerVariablePrepS = 1.0e-5;
+
+void encode_index_entry(Bytes& out, const BpVariable& v,
+                        std::uint64_t offset) {
+  append_string(out, v.name);
+  append_pod<std::uint8_t>(out, v.dtype_code);
+  append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(v.dims.size()));
+  for (auto d : v.dims) append_pod<std::uint64_t>(out, d);
+  append_pod<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(v.attributes.size()));
+  for (const auto& [k, val] : v.attributes) {
+    append_string(out, k);
+    append_string(out, val);
+  }
+  append_pod<std::uint64_t>(out, offset);
+  append_pod<std::uint64_t>(out, v.data.size());
+}
+
+}  // namespace
+
+void AdiosLiteFile::append_variable(BpVariable var) {
+  variables_.push_back(std::move(var));
+}
+
+const BpVariable& AdiosLiteFile::variable(const std::string& name) const {
+  for (const auto& v : variables_)
+    if (v.name == name) return v;
+  throw InvalidArgument("AdiosLite: no variable named " + name);
+}
+
+Bytes AdiosLiteFile::encode(int* footer_syncs) const {
+  Bytes out;
+  append_pod<std::uint32_t>(out, kBpMagic);
+
+  // Payload segments, appended in arrival order (process-group style).
+  std::vector<std::uint64_t> offsets;
+  offsets.reserve(variables_.size());
+  for (const auto& v : variables_) {
+    offsets.push_back(out.size());
+    append_bytes(out, v.data);
+  }
+
+  // Footer index written once at close.
+  const std::uint64_t footer_start = out.size();
+  append_pod<std::uint32_t>(out, kFooterMagic);
+  append_pod<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(variables_.size()));
+  for (std::size_t i = 0; i < variables_.size(); ++i)
+    encode_index_entry(out, variables_[i], offsets[i]);
+  append_pod<std::uint64_t>(out, footer_start);
+
+  if (footer_syncs) *footer_syncs = 1;
+  return out;
+}
+
+AdiosLiteFile AdiosLiteFile::decode(std::span<const std::byte> bytes) {
+  EBLCIO_CHECK_STREAM(bytes.size() >= 12, "AdiosLite: file too small");
+  {
+    ByteReader magic_r(bytes);
+    EBLCIO_CHECK_STREAM(magic_r.read_pod<std::uint32_t>() == kBpMagic,
+                        "AdiosLite: bad magic");
+  }
+  // Footer offset lives in the trailing 8 bytes.
+  std::uint64_t footer_start = 0;
+  std::memcpy(&footer_start, bytes.data() + bytes.size() - 8, 8);
+  EBLCIO_CHECK_STREAM(footer_start + 8 <= bytes.size(),
+                      "AdiosLite: bad footer offset");
+
+  ByteReader r(bytes.subspan(footer_start));
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kFooterMagic,
+                      "AdiosLite: bad footer magic");
+  const auto count = r.read_pod<std::uint32_t>();
+
+  AdiosLiteFile f;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BpVariable v;
+    v.name = r.read_string();
+    v.dtype_code = r.read_pod<std::uint8_t>();
+    const int nd = r.read_pod<std::uint8_t>();
+    for (int d = 0; d < nd; ++d)
+      v.dims.push_back(static_cast<std::size_t>(r.read_pod<std::uint64_t>()));
+    const auto nattrs = r.read_pod<std::uint32_t>();
+    for (std::uint32_t k = 0; k < nattrs; ++k) {
+      std::string key = r.read_string();
+      v.attributes[key] = r.read_string();
+    }
+    const auto offset = r.read_pod<std::uint64_t>();
+    const auto size = r.read_pod<std::uint64_t>();
+    EBLCIO_CHECK_STREAM(offset + size <= footer_start,
+                        "AdiosLite: segment out of range");
+    v.data.assign(bytes.begin() + offset, bytes.begin() + offset + size);
+    f.variables_.push_back(std::move(v));
+  }
+  return f;
+}
+
+namespace {
+
+IoCost write_container(PfsSimulator& pfs, const std::string& path,
+                       const AdiosLiteFile& file, int concurrent_clients) {
+  int footer_syncs = 0;
+  const Bytes encoded = file.encode(&footer_syncs);
+
+  IoCost cost;
+  cost.prep_seconds =
+      kPerVariablePrepS * static_cast<double>(file.variables().size()) +
+      static_cast<double>(encoded.size()) / kPrepBandwidthBps;
+  const auto write = pfs.write_file(path, encoded, concurrent_clients);
+  cost.transfer_seconds =
+      write.seconds + footer_syncs * pfs.config().rpc_latency_s;
+  cost.bytes_written = encoded.size();
+  return cost;
+}
+
+}  // namespace
+
+IoCost AdiosLiteTool::write_field(PfsSimulator& pfs, const std::string& path,
+                                  const Field& field,
+                                  int concurrent_clients) {
+  BpVariable v;
+  v.name = field.name().empty() ? "data" : field.name();
+  v.dtype_code = field.dtype() == DType::kFloat32 ? 0 : 1;
+  v.dims = field.shape().dims_vector();
+  auto raw = field.bytes();
+  v.data.assign(raw.begin(), raw.end());
+
+  AdiosLiteFile file;
+  file.append_variable(std::move(v));
+  return write_container(pfs, path, file, concurrent_clients);
+}
+
+IoCost AdiosLiteTool::write_blob(PfsSimulator& pfs, const std::string& path,
+                                 const std::string& dataset_name,
+                                 std::span<const std::byte> blob,
+                                 int concurrent_clients) {
+  BpVariable v;
+  v.name = dataset_name;
+  v.dtype_code = 2;
+  v.dims = {blob.size()};
+  v.attributes["content"] = "eblc-compressed";
+  v.data.assign(blob.begin(), blob.end());
+
+  AdiosLiteFile file;
+  file.append_variable(std::move(v));
+  return write_container(pfs, path, file, concurrent_clients);
+}
+
+Field AdiosLiteTool::read_field(PfsSimulator& pfs, const std::string& path) {
+  const Bytes raw = pfs.read_file(path);
+  const AdiosLiteFile file = AdiosLiteFile::decode(raw);
+  EBLCIO_CHECK_STREAM(!file.variables().empty(), "AdiosLite: empty file");
+  const BpVariable& v = file.variables().front();
+  EBLCIO_CHECK_STREAM(v.dtype_code <= 1, "AdiosLite: variable is not a field");
+  const Shape shape{std::span<const std::size_t>(v.dims)};
+  if (v.dtype_code == 0) {
+    NdArray<float> arr(shape);
+    EBLCIO_CHECK_STREAM(v.data.size() == arr.size_bytes(),
+                        "AdiosLite: data size mismatch");
+    std::memcpy(arr.data(), v.data.data(), v.data.size());
+    return Field(v.name, std::move(arr));
+  }
+  NdArray<double> arr(shape);
+  EBLCIO_CHECK_STREAM(v.data.size() == arr.size_bytes(),
+                      "AdiosLite: data size mismatch");
+  std::memcpy(arr.data(), v.data.data(), v.data.size());
+  return Field(v.name, std::move(arr));
+}
+
+Bytes AdiosLiteTool::read_blob(PfsSimulator& pfs, const std::string& path,
+                               const std::string& dataset_name) {
+  const Bytes raw = pfs.read_file(path);
+  const AdiosLiteFile file = AdiosLiteFile::decode(raw);
+  return file.variable(dataset_name).data;
+}
+
+}  // namespace eblcio

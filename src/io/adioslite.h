@@ -1,0 +1,59 @@
+// AdiosLite: ADIOS-2/BP-class container (the paper's Sec. II-A third I/O
+// framework: "ADIOS provides a flexible framework allowing applications to
+// switch between different I/O methods without code changes").
+//
+// Structural behaviours reproduced from the BP format family:
+//  * data lands as appended per-writer "process group" segments (large,
+//    sequential, no staging copy),
+//  * a footer metadata index written once at close (a single extra RPC,
+//    unlike NetCDF's per-variable header rewrites),
+//  * readers locate variables through the footer index.
+// These are what make ADIOS the cheapest write path of the three tools.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/io_tool.h"
+
+namespace eblcio {
+
+struct BpVariable {
+  std::string name;
+  std::uint8_t dtype_code = 0;  // 0=float32, 1=float64, 2=opaque bytes
+  std::vector<std::size_t> dims;
+  std::map<std::string, std::string> attributes;
+  Bytes data;
+};
+
+class AdiosLiteFile {
+ public:
+  void append_variable(BpVariable var);
+  const std::vector<BpVariable>& variables() const { return variables_; }
+  const BpVariable& variable(const std::string& name) const;
+
+  // Encodes payload segments followed by the footer index; reports the
+  // number of footer syncs (always 1).
+  Bytes encode(int* footer_syncs = nullptr) const;
+  static AdiosLiteFile decode(std::span<const std::byte> bytes);
+
+ private:
+  std::vector<BpVariable> variables_;
+};
+
+class AdiosLiteTool : public IoTool {
+ public:
+  std::string name() const override { return "ADIOS"; }
+  IoCost write_field(PfsSimulator& pfs, const std::string& path,
+                     const Field& field, int concurrent_clients) override;
+  IoCost write_blob(PfsSimulator& pfs, const std::string& path,
+                    const std::string& dataset_name,
+                    std::span<const std::byte> blob,
+                    int concurrent_clients) override;
+  Field read_field(PfsSimulator& pfs, const std::string& path) override;
+  Bytes read_blob(PfsSimulator& pfs, const std::string& path,
+                  const std::string& dataset_name) override;
+};
+
+}  // namespace eblcio

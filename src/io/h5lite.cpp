@@ -1,0 +1,180 @@
+#include "io/h5lite.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+constexpr std::uint32_t kH5Magic = 0x494c3548;  // "H5LI"
+constexpr std::uint16_t kH5Version = 1;
+
+// Modeled container-preparation throughput: HDF5's chunked layout writes
+// from the application buffer with negligible staging.
+constexpr double kPrepBandwidthBps = 6.0e9;
+constexpr double kPerDatasetPrepS = 2.0e-5;
+
+void encode_dataset(Bytes& out, const H5Dataset& ds) {
+  append_string(out, ds.name);
+  append_pod<std::uint8_t>(out, ds.dtype_code);
+  append_pod<std::uint8_t>(out, static_cast<std::uint8_t>(ds.dims.size()));
+  for (auto d : ds.dims) append_pod<std::uint64_t>(out, d);
+  append_pod<std::uint32_t>(out,
+                            static_cast<std::uint32_t>(ds.attributes.size()));
+  for (const auto& [k, v] : ds.attributes) {
+    append_string(out, k);
+    append_string(out, v);
+  }
+  // Chunked layout: chunk table then raw chunk bytes.
+  const std::size_t nchunks =
+      ds.data.empty()
+          ? 0
+          : (ds.data.size() + H5LiteFile::kChunkSize - 1) /
+                H5LiteFile::kChunkSize;
+  append_pod<std::uint64_t>(out, ds.data.size());
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nchunks));
+  for (std::size_t c = 0; c < nchunks; ++c) {
+    const std::size_t off = c * H5LiteFile::kChunkSize;
+    const std::size_t len =
+        std::min(H5LiteFile::kChunkSize, ds.data.size() - off);
+    append_pod<std::uint64_t>(out, len);
+    append_bytes(out, std::span<const std::byte>(ds.data).subspan(off, len));
+  }
+}
+
+H5Dataset decode_dataset(ByteReader& r) {
+  H5Dataset ds;
+  ds.name = r.read_string();
+  ds.dtype_code = r.read_pod<std::uint8_t>();
+  const int nd = r.read_pod<std::uint8_t>();
+  for (int i = 0; i < nd; ++i)
+    ds.dims.push_back(static_cast<std::size_t>(r.read_pod<std::uint64_t>()));
+  const auto nattrs = r.read_pod<std::uint32_t>();
+  for (std::uint32_t i = 0; i < nattrs; ++i) {
+    std::string k = r.read_string();
+    ds.attributes[k] = r.read_string();
+  }
+  const auto total = r.read_pod<std::uint64_t>();
+  const auto nchunks = r.read_pod<std::uint32_t>();
+  ds.data.reserve(total);
+  for (std::uint32_t c = 0; c < nchunks; ++c) {
+    const auto len = r.read_pod<std::uint64_t>();
+    auto chunk = r.read_bytes(len);
+    ds.data.insert(ds.data.end(), chunk.begin(), chunk.end());
+  }
+  EBLCIO_CHECK_STREAM(ds.data.size() == total, "H5Lite: chunk size mismatch");
+  return ds;
+}
+
+double prep_time(std::size_t bytes) {
+  return kPerDatasetPrepS + static_cast<double>(bytes) / kPrepBandwidthBps;
+}
+
+}  // namespace
+
+void H5LiteFile::add_dataset(H5Dataset ds) {
+  datasets_.push_back(std::move(ds));
+}
+
+const H5Dataset& H5LiteFile::dataset(const std::string& name) const {
+  for (const auto& ds : datasets_)
+    if (ds.name == name) return ds;
+  throw InvalidArgument("H5Lite: no dataset named " + name);
+}
+
+Bytes H5LiteFile::encode() const {
+  Bytes out;
+  append_pod<std::uint32_t>(out, kH5Magic);
+  append_pod<std::uint16_t>(out, kH5Version);
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(datasets_.size()));
+  for (const auto& ds : datasets_) encode_dataset(out, ds);
+  return out;
+}
+
+H5LiteFile H5LiteFile::decode(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kH5Magic,
+                      "H5Lite: bad magic");
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint16_t>() == kH5Version,
+                      "H5Lite: bad version");
+  const auto count = r.read_pod<std::uint32_t>();
+  H5LiteFile f;
+  for (std::uint32_t i = 0; i < count; ++i)
+    f.add_dataset(decode_dataset(r));
+  return f;
+}
+
+IoCost H5LiteTool::write_field(PfsSimulator& pfs, const std::string& path,
+                               const Field& field, int concurrent_clients) {
+  H5Dataset ds;
+  ds.name = field.name().empty() ? "data" : field.name();
+  ds.dtype_code = field.dtype() == DType::kFloat32 ? 0 : 1;
+  ds.dims = field.shape().dims_vector();
+  auto raw = field.bytes();
+  ds.data.assign(raw.begin(), raw.end());
+
+  H5LiteFile file;
+  file.add_dataset(std::move(ds));
+  const Bytes encoded = file.encode();
+
+  IoCost cost;
+  cost.prep_seconds = prep_time(encoded.size());
+  cost.transfer_seconds =
+      pfs.write_file(path, encoded, concurrent_clients).seconds;
+  cost.bytes_written = encoded.size();
+  return cost;
+}
+
+IoCost H5LiteTool::write_blob(PfsSimulator& pfs, const std::string& path,
+                              const std::string& dataset_name,
+                              std::span<const std::byte> blob,
+                              int concurrent_clients) {
+  H5Dataset ds;
+  ds.name = dataset_name;
+  ds.dtype_code = 2;
+  ds.dims = {blob.size()};
+  ds.attributes["content"] = "eblc-compressed";
+  ds.data.assign(blob.begin(), blob.end());
+
+  H5LiteFile file;
+  file.add_dataset(std::move(ds));
+  const Bytes encoded = file.encode();
+
+  IoCost cost;
+  cost.prep_seconds = prep_time(encoded.size());
+  cost.transfer_seconds =
+      pfs.write_file(path, encoded, concurrent_clients).seconds;
+  cost.bytes_written = encoded.size();
+  return cost;
+}
+
+Field H5LiteTool::read_field(PfsSimulator& pfs, const std::string& path) {
+  const Bytes raw = pfs.read_file(path);
+  const H5LiteFile file = H5LiteFile::decode(raw);
+  EBLCIO_CHECK_STREAM(!file.datasets().empty(), "H5Lite: empty file");
+  const H5Dataset& ds = file.datasets().front();
+  EBLCIO_CHECK_STREAM(ds.dtype_code <= 1, "H5Lite: dataset is not a field");
+  const Shape shape{std::span<const std::size_t>(ds.dims)};
+  if (ds.dtype_code == 0) {
+    NdArray<float> arr(shape);
+    EBLCIO_CHECK_STREAM(ds.data.size() == arr.size_bytes(),
+                        "H5Lite: data size mismatch");
+    std::memcpy(arr.data(), ds.data.data(), ds.data.size());
+    return Field(ds.name, std::move(arr));
+  }
+  NdArray<double> arr(shape);
+  EBLCIO_CHECK_STREAM(ds.data.size() == arr.size_bytes(),
+                      "H5Lite: data size mismatch");
+  std::memcpy(arr.data(), ds.data.data(), ds.data.size());
+  return Field(ds.name, std::move(arr));
+}
+
+Bytes H5LiteTool::read_blob(PfsSimulator& pfs, const std::string& path,
+                            const std::string& dataset_name) {
+  const Bytes raw = pfs.read_file(path);
+  const H5LiteFile file = H5LiteFile::decode(raw);
+  return file.dataset(dataset_name).data;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,40 @@
+#include "io/io_tool.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/error.h"
+#include "io/adioslite.h"
+#include "io/h5lite.h"
+#include "io/nclite.h"
+
+namespace eblcio {
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+IoTool& io_tool(const std::string& name) {
+  static H5LiteTool h5;
+  static NcLiteTool nc;
+  static AdiosLiteTool bp;
+  const std::string key = lower(name);
+  if (key == "hdf5" || key == "h5") return h5;
+  if (key == "netcdf" || key == "nc") return nc;
+  if (key == "adios" || key == "bp") return bp;
+  throw InvalidArgument("unknown I/O tool: " + name);
+}
+
+// The two libraries the paper benchmarks (Sec. IV-D). ADIOS is available
+// via io_tool("ADIOS") as an extension but is kept out of the paper sweeps.
+const std::vector<std::string>& io_tool_names() {
+  static const std::vector<std::string> kNames = {"HDF5", "NetCDF"};
+  return kNames;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,54 @@
+// Uniform I/O-library interface (the role HDF5 / NetCDF play in Sec. IV-D).
+//
+// An IoTool serializes a payload — either a raw Field ("Original" in Fig.
+// 11) or a compressed blob — into its container format and writes it
+// through the PFS simulator. The returned cost separates container
+// preparation time (real serialization work, charged as compute) from PFS
+// transfer time, because the two phases draw different power.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/field.h"
+#include "io/pfs.h"
+
+namespace eblcio {
+
+struct IoCost {
+  double prep_seconds = 0.0;      // container serialization / staging copies
+  double transfer_seconds = 0.0;  // PFS time
+  std::size_t bytes_written = 0;
+  double total_seconds() const { return prep_seconds + transfer_seconds; }
+};
+
+class IoTool {
+ public:
+  virtual ~IoTool() = default;
+  virtual std::string name() const = 0;
+
+  // Writes an uncompressed field as a dataset named field.name().
+  virtual IoCost write_field(PfsSimulator& pfs, const std::string& path,
+                             const Field& field,
+                             int concurrent_clients = 1) = 0;
+
+  // Writes an opaque compressed blob as a dataset with shape metadata.
+  virtual IoCost write_blob(PfsSimulator& pfs, const std::string& path,
+                            const std::string& dataset_name,
+                            std::span<const std::byte> blob,
+                            int concurrent_clients = 1) = 0;
+
+  // Reads back the single dataset in `path` written by write_field.
+  virtual Field read_field(PfsSimulator& pfs, const std::string& path) = 0;
+
+  // Reads back a blob written by write_blob.
+  virtual Bytes read_blob(PfsSimulator& pfs, const std::string& path,
+                          const std::string& dataset_name) = 0;
+};
+
+// Registry: "HDF5" or "NetCDF" (case-insensitive).
+IoTool& io_tool(const std::string& name);
+const std::vector<std::string>& io_tool_names();
+
+}  // namespace eblcio

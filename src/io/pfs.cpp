@@ -1,0 +1,117 @@
+#include "io/pfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eblcio {
+
+PfsSimulator::PfsSimulator(PfsConfig config) : config_(config) {
+  EBLCIO_CHECK_ARG(config_.num_osts >= 1, "PFS needs at least one OST");
+  EBLCIO_CHECK_ARG(config_.stripe_count >= 1 &&
+                       config_.stripe_count <= config_.num_osts,
+                   "stripe count must be in [1, num_osts]");
+  EBLCIO_CHECK_ARG(config_.stripe_size > 0, "stripe size must be positive");
+}
+
+double PfsSimulator::effective_bandwidth(int concurrent_clients) const {
+  const int clients = std::max(concurrent_clients, 1);
+  const double aggregate = config_.num_osts * config_.ost_bandwidth_bps;
+  const double stripe_limit =
+      config_.stripe_count * config_.ost_bandwidth_bps;
+  const double share = aggregate / clients;
+  return std::min({config_.client_bandwidth_bps, stripe_limit, share});
+}
+
+double PfsSimulator::transfer_seconds(std::size_t bytes,
+                                      int concurrent_clients) const {
+  const int clients = std::max(concurrent_clients, 1);
+  const double bw = effective_bandwidth(clients);
+  const std::size_t nstripes =
+      bytes == 0 ? 0 : (bytes + config_.stripe_size - 1) / config_.stripe_size;
+  // Metadata service queues across clients: each open costs the base
+  // latency plus its share of the MDS backlog.
+  const double mds = config_.open_latency_s +
+                     config_.mds_service_s * static_cast<double>(clients);
+  return mds + static_cast<double>(nstripes) * config_.rpc_latency_s +
+         static_cast<double>(bytes) / bw;
+}
+
+PfsSimulator::WriteResult PfsSimulator::write_file(
+    const std::string& path, std::span<const std::byte> data,
+    int concurrent_clients) {
+  StoredFile f;
+  f.size = data.size();
+  f.stripe_count = config_.stripe_count;
+  f.stripe_size = config_.stripe_size;
+  f.first_ost = next_ost_;
+  next_ost_ = (next_ost_ + config_.stripe_count) % config_.num_osts;
+
+  for (std::size_t off = 0; off < data.size(); off += config_.stripe_size) {
+    const std::size_t len = std::min(config_.stripe_size, data.size() - off);
+    f.stripes.emplace_back(data.begin() + off, data.begin() + off + len);
+  }
+  files_[path] = std::move(f);
+
+  WriteResult r;
+  r.bytes = data.size();
+  r.seconds = transfer_seconds(data.size(), concurrent_clients);
+  r.effective_bw_bps = effective_bandwidth(concurrent_clients);
+  return r;
+}
+
+PfsSimulator::WriteResult PfsSimulator::read_cost(
+    const std::string& path, int concurrent_clients) const {
+  auto it = files_.find(path);
+  EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
+  WriteResult r;
+  r.bytes = it->second.size;
+  r.seconds = transfer_seconds(it->second.size, concurrent_clients);
+  r.effective_bw_bps = effective_bandwidth(concurrent_clients);
+  return r;
+}
+
+Bytes PfsSimulator::read_file(const std::string& path) const {
+  auto it = files_.find(path);
+  EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
+  Bytes out;
+  out.reserve(it->second.size);
+  for (const Bytes& s : it->second.stripes)
+    out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+bool PfsSimulator::exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::size_t PfsSimulator::file_size(const std::string& path) const {
+  auto it = files_.find(path);
+  EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
+  return it->second.size;
+}
+
+void PfsSimulator::remove(const std::string& path) { files_.erase(path); }
+
+std::vector<std::string> PfsSimulator::list_files() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::size_t> PfsSimulator::ost_usage() const {
+  std::vector<std::size_t> usage(config_.num_osts, 0);
+  for (const auto& [name, file] : files_) {
+    for (std::size_t k = 0; k < file.stripes.size(); ++k) {
+      const int ost =
+          (file.first_ost + static_cast<int>(k % file.stripe_count)) %
+          config_.num_osts;
+      usage[ost] += file.stripes[k].size();
+    }
+  }
+  return usage;
+}
+
+}  // namespace eblcio

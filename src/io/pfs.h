@@ -1,0 +1,92 @@
+// Lustre-class parallel-file-system simulator.
+//
+// The paper writes to a Lustre 2.15 PFS from one node (Fig. 11) and from up
+// to 512 cores (Fig. 12). We reproduce the two mechanisms its I/O-energy
+// findings rest on:
+//  * write time = RPC/metadata latency + bytes / effective bandwidth, where
+//    effective bandwidth is limited by the client link, by the file's
+//    stripe width, and by the aggregate OST capacity, and
+//  * contention: with N concurrent clients the aggregate capacity is shared
+//    and metadata service time grows, producing the super-linear jump the
+//    paper observes from 256 to 512 cores for uncompressed writes.
+//
+// Files are really stored (striped across in-memory OST buffers) and really
+// reassembled on read, so container round-trip tests are end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace eblcio {
+
+struct PfsConfig {
+  int num_osts = 16;
+  double ost_bandwidth_bps = 1.2e9;     // per-OST streaming bandwidth
+  double client_bandwidth_bps = 2.8e9;  // node interconnect limit
+  double open_latency_s = 8e-4;         // open/close + layout RPCs
+  double rpc_latency_s = 5e-5;          // per stripe-boundary RPC
+  double mds_service_s = 2e-5;          // metadata service time per client
+  std::size_t stripe_size = 1u << 20;
+  int stripe_count = 4;
+};
+
+class PfsSimulator {
+ public:
+  explicit PfsSimulator(PfsConfig config = {});
+
+  const PfsConfig& config() const { return config_; }
+
+  struct WriteResult {
+    double seconds = 0.0;        // simulated wall time for this client
+    std::size_t bytes = 0;
+    double effective_bw_bps = 0.0;
+  };
+
+  // Writes (or overwrites) a file. `concurrent_clients` models how many
+  // clients are hammering the PFS at the same moment (this client
+  // included); time reflects the shared-capacity slowdown.
+  WriteResult write_file(const std::string& path,
+                         std::span<const std::byte> data,
+                         int concurrent_clients = 1);
+
+  // Time to read a file back under the same contention model.
+  WriteResult read_cost(const std::string& path,
+                        int concurrent_clients = 1) const;
+
+  // Reassembles the file from its stripes.
+  Bytes read_file(const std::string& path) const;
+
+  bool exists(const std::string& path) const;
+  std::size_t file_size(const std::string& path) const;
+  void remove(const std::string& path);
+  std::vector<std::string> list_files() const;
+  // Total bytes resident on each OST (for striping tests / balance checks).
+  std::vector<std::size_t> ost_usage() const;
+
+  // Transfer time for `bytes` under `concurrent_clients`-way contention,
+  // without storing anything (used for modeled aggregate flows).
+  double transfer_seconds(std::size_t bytes, int concurrent_clients) const;
+
+ private:
+  struct StoredFile {
+    std::size_t size = 0;
+    int stripe_count = 0;
+    std::size_t stripe_size = 0;
+    int first_ost = 0;
+    // stripes[k] = k-th stripe unit, resident on OST
+    // (first_ost + k % stripe_count) % num_osts.
+    std::vector<Bytes> stripes;
+  };
+
+  double effective_bandwidth(int concurrent_clients) const;
+
+  PfsConfig config_;
+  std::map<std::string, StoredFile> files_;
+  int next_ost_ = 0;
+};
+
+}  // namespace eblcio

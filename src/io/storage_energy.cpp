@@ -1,0 +1,47 @@
+#include "io/storage_energy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace eblcio {
+
+const StorageDeviceModel& ssd_model() {
+  static const StorageDeviceModel kSsd = {
+      "SSD", 7.68e12, /*write_j_per_gb=*/8.0, /*idle_w=*/2.0,
+      /*embodied_kgco2=*/280.0, /*rack_embodied_share=*/0.80};
+  return kSsd;
+}
+
+const StorageDeviceModel& hdd_model() {
+  static const StorageDeviceModel kHdd = {
+      "HDD", 18.0e12, /*write_j_per_gb=*/25.0, /*idle_w=*/5.5,
+      /*embodied_kgco2=*/30.0, /*rack_embodied_share=*/0.41};
+  return kHdd;
+}
+
+StorageFootprint storage_footprint(const StorageDeviceModel& model,
+                                   double bytes, double redundancy) {
+  EBLCIO_CHECK_ARG(bytes >= 0.0 && redundancy >= 1.0,
+                   "bad storage footprint arguments");
+  StorageFootprint f;
+  const double stored = bytes * redundancy;
+  f.devices = std::ceil(stored / model.capacity_bytes);
+  f.write_joules = stored / 1e9 * model.write_j_per_gb;
+  f.embodied_kgco2 = f.devices * model.embodied_kgco2;
+  return f;
+}
+
+double rack_embodied_reduction(const StorageDeviceModel& model,
+                               double capacity_reduction_factor) {
+  EBLCIO_CHECK_ARG(capacity_reduction_factor >= 1.0,
+                   "reduction factor must be >= 1");
+  // Device-embodied share shrinks with device count; the rest of the rack
+  // (chassis, switches) is unchanged.
+  const double devices_after = 1.0 / capacity_reduction_factor;
+  const double saved = model.rack_embodied_share * (1.0 - devices_after);
+  return saved;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,40 @@
+// Storage-side energy and embodied-emissions estimator for the paper's
+// Sec. VII extrapolations (storage-device-count reduction and embodied
+// carbon of storage racks, citing McAllister et al., HotCarbon'24).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace eblcio {
+
+struct StorageDeviceModel {
+  std::string kind;             // "SSD" or "HDD"
+  double capacity_bytes;
+  double write_j_per_gb;        // device energy per GB written
+  double idle_w;                // per-device idle draw
+  double embodied_kgco2;        // manufacturing emissions per device
+  // Share of a storage rack's total emissions that is embodied in the
+  // devices themselves (80% for SSD racks, 41% for HDD racks — Sec. VII).
+  double rack_embodied_share;
+};
+
+const StorageDeviceModel& ssd_model();
+const StorageDeviceModel& hdd_model();
+
+struct StorageFootprint {
+  double devices = 0.0;           // devices needed for the capacity
+  double write_joules = 0.0;      // device-side energy for one full write
+  double embodied_kgco2 = 0.0;
+};
+
+// Footprint for storing `bytes` (with the given redundancy overhead).
+StorageFootprint storage_footprint(const StorageDeviceModel& model,
+                                   double bytes, double redundancy = 1.25);
+
+// Fractional reduction in a rack's total embodied emissions when capacity
+// shrinks by `capacity_reduction_factor` (e.g. 100x for CR=100 data).
+double rack_embodied_reduction(const StorageDeviceModel& model,
+                               double capacity_reduction_factor);
+
+}  // namespace eblcio

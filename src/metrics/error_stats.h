@@ -1,0 +1,36 @@
+// Reconstruction-quality metrics from Section III of the paper:
+// MSE, PSNR (Eq. 2), maximum absolute / value-range-relative error (Eq. 1),
+// and lag-k autocorrelation of the error field (the QoZ quality metric).
+#pragma once
+
+#include "common/field.h"
+
+namespace eblcio {
+
+struct ErrorStats {
+  double mse = 0.0;
+  double psnr_db = 0.0;        // Eq. 2: 20*log10(max(D)/sqrt(MSE))
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;  // relative to the original value range
+  double value_range = 0.0;
+  double error_autocorr_lag1 = 0.0;
+};
+
+// Computes quality metrics between an original field and its reconstruction.
+// Both fields must have the same dtype and shape.
+ErrorStats compute_error_stats(const Field& original, const Field& recon);
+
+// True iff every element satisfies |x - x̂| <= eb_rel * range(original).
+bool check_value_range_bound(const Field& original, const Field& recon,
+                             double eb_rel);
+
+// Compression ratio = original bytes / compressed bytes.
+inline double compression_ratio(std::size_t original_bytes,
+                                std::size_t compressed_bytes) {
+  return compressed_bytes == 0
+             ? 0.0
+             : static_cast<double>(original_bytes) /
+                   static_cast<double>(compressed_bytes);
+}
+
+}  // namespace eblcio

@@ -1,0 +1,114 @@
+#include "metrics/quality_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+template <typename T>
+QualityReport assess_impl(const Field& original, const Field& recon) {
+  const NdArray<T>& a = original.as<T>();
+  const NdArray<T>& b = recon.as<T>();
+  EBLCIO_CHECK_ARG(a.shape() == b.shape(), "field shape mismatch");
+  const std::size_t n = a.num_elements();
+
+  QualityReport rep;
+  rep.basic = compute_error_stats(original, recon);
+  rep.n = n;
+  if (n == 0) return rep;
+
+  // Single pass for means.
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+
+  // Second pass: variances, covariance, error accumulation.
+  double var_a = 0.0, var_b = 0.0, cov = 0.0, err_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    var_a += da * da;
+    var_b += db * db;
+    cov += da * db;
+    err_sum += static_cast<double>(a[i]) - b[i];
+  }
+  var_a /= static_cast<double>(n);
+  var_b /= static_cast<double>(n);
+  cov /= static_cast<double>(n);
+  rep.mean_error = err_sum / static_cast<double>(n);
+
+  rep.nrmse = rep.basic.value_range > 0
+                  ? std::sqrt(rep.basic.mse) / rep.basic.value_range
+                  : 0.0;
+  rep.pearson_r = (var_a > 0 && var_b > 0)
+                      ? cov / std::sqrt(var_a * var_b)
+                      : 1.0;
+
+  // Global SSIM with the standard stabilizers, dynamic range = value range.
+  const double range = std::max(rep.basic.value_range, 1e-300);
+  const double c1 = (0.01 * range) * (0.01 * range);
+  const double c2 = (0.03 * range) * (0.03 * range);
+  rep.ssim = ((2 * mean_a * mean_b + c1) * (2 * cov + c2)) /
+             ((mean_a * mean_a + mean_b * mean_b + c1) *
+              (var_a + var_b + c2));
+
+  // Gradient preservation along the fastest axis: RMSE of first
+  // differences, normalized by the field's own gradient RMS.
+  const std::size_t fastest = a.shape().dim(a.ndims() - 1);
+  if (fastest > 1) {
+    double grad_err = 0.0, grad_rms = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      if ((i + 1) % fastest == 0) continue;  // row boundary
+      const double ga = static_cast<double>(a[i + 1]) - a[i];
+      const double gb = static_cast<double>(b[i + 1]) - b[i];
+      grad_err += (ga - gb) * (ga - gb);
+      grad_rms += ga * ga;
+      ++count;
+    }
+    if (count > 0 && grad_rms > 0)
+      rep.gradient_rmse_ratio = std::sqrt(grad_err / grad_rms);
+  }
+  return rep;
+}
+
+}  // namespace
+
+bool QualityReport::unbiased(double tol_rel) const {
+  return std::fabs(mean_error) <= tol_rel * std::max(basic.value_range,
+                                                     1e-300);
+}
+
+QualityReport assess_quality(const Field& original, const Field& recon) {
+  EBLCIO_CHECK_ARG(original.dtype() == recon.dtype(),
+                   "field dtype mismatch");
+  return original.dtype() == DType::kFloat32
+             ? assess_impl<float>(original, recon)
+             : assess_impl<double>(original, recon);
+}
+
+std::string format_quality_report(const QualityReport& r) {
+  std::ostringstream os;
+  os << "quality report (" << r.n << " values)\n"
+     << "  PSNR            : " << r.basic.psnr_db << " dB\n"
+     << "  NRMSE           : " << r.nrmse << "\n"
+     << "  max abs error   : " << r.basic.max_abs_error << "\n"
+     << "  max rel error   : " << r.basic.max_rel_error << "\n"
+     << "  pearson r       : " << r.pearson_r << "\n"
+     << "  SSIM            : " << r.ssim << "\n"
+     << "  gradient RMSE   : " << r.gradient_rmse_ratio
+     << " (relative to field gradient RMS)\n"
+     << "  mean error      : " << r.mean_error << "\n"
+     << "  error lag-1 AC  : " << r.basic.error_autocorr_lag1 << "\n";
+  return os.str();
+}
+
+}  // namespace eblcio

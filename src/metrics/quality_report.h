@@ -1,0 +1,39 @@
+// Z-checker-class reconstruction quality assessment (the paper's ref. [56],
+// Tao et al., IJHPCA'19: "Z-checker: a framework for assessing lossy
+// compression of scientific data").
+//
+// Computes the fuller battery of metrics the lossy-compression community
+// uses beyond PSNR: normalized errors, correlation, SSIM-style structural
+// similarity, gradient preservation and error-spectrum character, plus the
+// per-application pass/fail verdicts of Sec. III.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "metrics/error_stats.h"
+
+namespace eblcio {
+
+struct QualityReport {
+  ErrorStats basic;            // MSE/PSNR/max errors/autocorr
+  double nrmse = 0.0;          // RMSE / value range
+  double pearson_r = 1.0;      // correlation(original, reconstruction)
+  double ssim = 1.0;           // global SSIM (luminance/contrast/structure)
+  double gradient_rmse_ratio = 0.0;  // RMSE of first differences vs field's
+                                     // own gradient RMS (feature smearing)
+  double mean_error = 0.0;     // bias of the reconstruction
+  std::size_t n = 0;
+
+  // Convenience verdicts.
+  bool passes_psnr(double min_db) const { return basic.psnr_db >= min_db; }
+  bool unbiased(double tol_rel = 1e-3) const;
+};
+
+// Full quality battery between an original field and its reconstruction.
+QualityReport assess_quality(const Field& original, const Field& recon);
+
+// Human-readable multi-line summary (z-checker's report role).
+std::string format_quality_report(const QualityReport& report);
+
+}  // namespace eblcio

@@ -1,0 +1,40 @@
+#include "parallel/omp_pipeline.h"
+
+#include "common/timer.h"
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+
+namespace eblcio {
+
+OmpRunResult run_omp_pipeline(const std::string& codec, const Field& field,
+                              double eb_rel, int threads, bool verify) {
+  Compressor& comp = compressor(codec);
+  CompressOptions opt;
+  opt.mode = BoundMode::kValueRangeRel;
+  opt.error_bound = eb_rel;
+  opt.threads = threads;
+
+  OmpRunResult r;
+  r.threads = threads;
+  r.original_bytes = field.size_bytes();
+
+  Bytes blob;
+  r.compress_seconds = timed_s([&] { blob = comp.compress(field, opt); });
+  r.compressed_bytes = blob.size();
+
+  Field recon;
+  const int decomp_threads =
+      comp.caps().parallel_decompress ? threads : 1;
+  r.decompress_seconds =
+      timed_s([&] { recon = comp.decompress(blob, decomp_threads); });
+
+  if (verify) r.bound_ok = check_value_range_bound(field, recon, eb_rel);
+  return r;
+}
+
+const std::vector<int>& paper_thread_sweep() {
+  static const std::vector<int> kThreads = {1, 2, 4, 8, 16, 32, 64};
+  return kThreads;
+}
+
+}  // namespace eblcio

@@ -1,0 +1,38 @@
+// Strong-scaling driver for OpenMP compressor modes (paper Sec. IV-C:
+// threads 1..64 in powers of two, fixed problem size).
+//
+// Runs the *real* parallel compress/decompress paths and reports measured
+// wall times plus the blob size; the energy layer turns these into the
+// Fig. 10 stacked bars.
+#pragma once
+
+#include <string>
+
+#include "common/field.h"
+
+namespace eblcio {
+
+struct OmpRunResult {
+  int threads = 1;
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+  std::size_t compressed_bytes = 0;
+  std::size_t original_bytes = 0;
+  bool bound_ok = true;  // reconstruction verified against the bound
+  double ratio() const {
+    return compressed_bytes
+               ? static_cast<double>(original_bytes) / compressed_bytes
+               : 0.0;
+  }
+};
+
+// Compresses and decompresses `field` with `codec` at the value-range
+// relative bound `eb_rel` using `threads` threads (1 = serial mode).
+// When `verify` is set the reconstruction is checked against the bound.
+OmpRunResult run_omp_pipeline(const std::string& codec, const Field& field,
+                              double eb_rel, int threads, bool verify = false);
+
+// The paper's thread sweep: 1, 2, 4, ..., 64.
+const std::vector<int>& paper_thread_sweep();
+
+}  // namespace eblcio

@@ -1,0 +1,201 @@
+#include "parallel/simmpi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+// Collective tags live in a reserved negative range so they never collide
+// with user tags.
+constexpr int kTagCollectiveUp = -1;
+constexpr int kTagCollectiveDown = -2;
+
+Bytes pack_doubles(std::span<const double> vals) {
+  Bytes b;
+  for (double v : vals) append_pod<double>(b, v);
+  return b;
+}
+
+std::vector<double> unpack_doubles(std::span<const std::byte> b) {
+  std::vector<double> out(b.size() / sizeof(double));
+  std::memcpy(out.data(), b.data(), out.size() * sizeof(double));
+  return out;
+}
+
+}  // namespace
+
+int Communicator::size() const { return world_->nranks_; }
+
+void Communicator::send(int dest, int tag, Bytes data) {
+  EBLCIO_CHECK_ARG(dest >= 0 && dest < size(), "bad destination rank");
+  world_->push({rank_, dest, tag}, std::move(data));
+}
+
+Bytes Communicator::recv(int src, int tag) {
+  EBLCIO_CHECK_ARG(src >= 0 && src < size(), "bad source rank");
+  return world_->pop({src, rank_, tag});
+}
+
+void Communicator::send_double(int dest, int tag, double v) {
+  send(dest, tag, pack_doubles(std::span<const double>(&v, 1)));
+}
+
+double Communicator::recv_double(int src, int tag) {
+  const Bytes b = recv(src, tag);
+  EBLCIO_CHECK_STREAM(b.size() == sizeof(double), "bad double message");
+  double v;
+  std::memcpy(&v, b.data(), sizeof(double));
+  return v;
+}
+
+// All collectives funnel through rank 0: each rank sends (sim_time, value),
+// rank 0 reduces, then broadcasts (max_time, result). Clocks join at max.
+namespace {
+struct UpMsg {
+  double time;
+  double value;
+};
+}  // namespace
+
+double Communicator::allreduce_sum(double v) {
+  if (rank_ == 0) {
+    double sum = v;
+    double tmax = sim_time_s_;
+    for (int r = 1; r < size(); ++r) {
+      const Bytes b = recv(r, kTagCollectiveUp);
+      const auto vals = unpack_doubles(b);
+      tmax = std::max(tmax, vals[0]);
+      sum += vals[1];
+    }
+    sim_time_s_ = tmax;
+    for (int r = 1; r < size(); ++r) {
+      const double down[2] = {tmax, sum};
+      send(r, kTagCollectiveDown, pack_doubles(down));
+    }
+    return sum;
+  }
+  const double up[2] = {sim_time_s_, v};
+  send(0, kTagCollectiveUp, pack_doubles(up));
+  const auto vals = unpack_doubles(recv(0, kTagCollectiveDown));
+  sim_time_s_ = vals[0];
+  return vals[1];
+}
+
+double Communicator::allreduce_max(double v) {
+  if (rank_ == 0) {
+    double m = v;
+    double tmax = sim_time_s_;
+    for (int r = 1; r < size(); ++r) {
+      const auto vals = unpack_doubles(recv(r, kTagCollectiveUp));
+      tmax = std::max(tmax, vals[0]);
+      m = std::max(m, vals[1]);
+    }
+    sim_time_s_ = tmax;
+    for (int r = 1; r < size(); ++r) {
+      const double down[2] = {tmax, m};
+      send(r, kTagCollectiveDown, pack_doubles(down));
+    }
+    return m;
+  }
+  const double up[2] = {sim_time_s_, v};
+  send(0, kTagCollectiveUp, pack_doubles(up));
+  const auto vals = unpack_doubles(recv(0, kTagCollectiveDown));
+  sim_time_s_ = vals[0];
+  return vals[1];
+}
+
+void Communicator::barrier() { (void)allreduce_sum(0.0); }
+
+std::vector<double> Communicator::gather(double v, int root) {
+  // Time-synchronizing like the other collectives, routed through rank 0
+  // then re-sent to root if root != 0 (simple, and fine at this scale).
+  std::vector<double> result;
+  if (rank_ == 0) {
+    std::vector<double> all(size());
+    all[0] = v;
+    double tmax = sim_time_s_;
+    for (int r = 1; r < size(); ++r) {
+      const auto vals = unpack_doubles(recv(r, kTagCollectiveUp));
+      tmax = std::max(tmax, vals[0]);
+      all[r] = vals[1];
+    }
+    sim_time_s_ = tmax;
+    for (int r = 1; r < size(); ++r)
+      send(r, kTagCollectiveDown, pack_doubles(std::span(&tmax, 1)));
+    if (root == 0) {
+      result = std::move(all);
+    } else {
+      send(root, kTagCollectiveDown, pack_doubles(all));
+    }
+  } else {
+    const double up[2] = {sim_time_s_, v};
+    send(0, kTagCollectiveUp, pack_doubles(up));
+    sim_time_s_ = unpack_doubles(recv(0, kTagCollectiveDown))[0];
+    if (rank_ == root) result = unpack_doubles(recv(0, kTagCollectiveDown));
+  }
+  return result;
+}
+
+Bytes Communicator::bcast(Bytes data, int root) {
+  barrier();
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r)
+      if (r != rank_) send(r, kTagCollectiveDown, data);
+    return data;
+  }
+  return recv(root, kTagCollectiveDown);
+}
+
+void Communicator::advance_time(double seconds) {
+  EBLCIO_CHECK_ARG(seconds >= 0.0, "negative time advance");
+  sim_time_s_ += seconds;
+}
+
+void SimMpiWorld::push(const Key& key, Bytes data) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mailboxes_[key].push(std::move(data));
+  }
+  cv_.notify_all();
+}
+
+Bytes SimMpiWorld::pop(const Key& key) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    auto it = mailboxes_.find(key);
+    return it != mailboxes_.end() && !it->second.empty();
+  });
+  auto& q = mailboxes_[key];
+  Bytes data = std::move(q.front());
+  q.pop();
+  return data;
+}
+
+void SimMpiWorld::run(int nranks, const RankFn& fn) {
+  EBLCIO_CHECK_ARG(nranks >= 1, "need at least one rank");
+  SimMpiWorld world(nranks);
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(nranks);
+  threads.reserve(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&world, &fn, &errors, r] {
+      Communicator comm(&world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace eblcio

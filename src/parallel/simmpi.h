@@ -1,0 +1,96 @@
+// simmpi: an in-process message-passing runtime standing in for MPI.
+//
+// The paper's multi-node experiment (Sec. IV-E, Fig. 12) runs N nodes x R
+// ranks, each compressing a copy of the data set and writing it to the PFS.
+// We reproduce the programming model: ranks execute concurrently (as
+// threads), communicate via typed point-to-point messages, and synchronize
+// through collectives. Each rank additionally carries a simulated clock so
+// experiments can account platform time for modeled phases (compute dilated
+// onto a CpuModel, PFS transfer times); collectives synchronize clocks to
+// the maximum, exactly how barrier time behaves on a real machine.
+//
+// Collectives are implemented on top of send/recv through rank 0, keeping
+// the runtime small and the semantics obvious.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace eblcio {
+
+class SimMpiWorld;
+
+// Per-rank handle passed to the rank function.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  // --- point to point ---
+  void send(int dest, int tag, Bytes data);
+  Bytes recv(int src, int tag);
+  // Typed convenience wrappers.
+  void send_double(int dest, int tag, double v);
+  double recv_double(int src, int tag);
+
+  // --- collectives (synchronize simulated clocks to the max) ---
+  void barrier();
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+  std::vector<double> gather(double v, int root);  // non-empty at root only
+  Bytes bcast(Bytes data, int root);
+
+  // --- simulated time ---
+  void advance_time(double seconds);
+  double sim_time() const { return sim_time_s_; }
+
+ private:
+  friend class SimMpiWorld;
+  Communicator(SimMpiWorld* world, int rank) : world_(world), rank_(rank) {}
+
+  SimMpiWorld* world_;
+  int rank_;
+  double sim_time_s_ = 0.0;
+};
+
+// Launches `nranks` rank functions on real threads and joins them.
+// Exceptions thrown by rank functions are collected and rethrown (first
+// one) after all ranks finish or abort.
+class SimMpiWorld {
+ public:
+  using RankFn = std::function<void(Communicator&)>;
+
+  static void run(int nranks, const RankFn& fn);
+
+ private:
+  friend class Communicator;
+
+  explicit SimMpiWorld(int nranks) : nranks_(nranks) {}
+
+  struct Key {
+    int src, dst, tag;
+    bool operator<(const Key& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  void push(const Key& key, Bytes data);
+  Bytes pop(const Key& key);
+
+  int nranks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::queue<Bytes>> mailboxes_;
+};
+
+}  // namespace eblcio

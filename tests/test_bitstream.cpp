@@ -1,0 +1,105 @@
+// BitWriter/BitReader round-trip and boundary tests.
+#include <gtest/gtest.h>
+
+#include "codec/bitstream.h"
+#include "common/rng.h"
+
+namespace eblcio {
+namespace {
+
+TEST(BitStream, SingleBits) {
+  BitWriter bw;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  for (int b : pattern) bw.put_bit(b);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  for (int b : pattern) EXPECT_EQ(br.get_bit(), static_cast<unsigned>(b));
+}
+
+TEST(BitStream, MultiBitValues) {
+  BitWriter bw;
+  bw.put_bits(0x5, 3);
+  bw.put_bits(0xABCD, 16);
+  bw.put_bits(0x1, 1);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(3), 0x5u);
+  EXPECT_EQ(br.get_bits(16), 0xABCDu);
+  EXPECT_EQ(br.get_bits(1), 0x1u);
+}
+
+TEST(BitStream, SixtyFourBitValues) {
+  BitWriter bw;
+  bw.put_bits(0xfedcba9876543210ull, 64);
+  bw.put_bit(1);
+  bw.put_bits(0xffffffffffffffffull, 64);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(64), 0xfedcba9876543210ull);
+  EXPECT_EQ(br.get_bit(), 1u);
+  EXPECT_EQ(br.get_bits(64), 0xffffffffffffffffull);
+}
+
+TEST(BitStream, ZeroWidthWrites) {
+  BitWriter bw;
+  bw.put_bits(0x123, 0);  // no-op
+  bw.put_bits(0x3, 2);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(0), 0u);
+  EXPECT_EQ(br.get_bits(2), 0x3u);
+}
+
+TEST(BitStream, BitCountTracksWrites) {
+  BitWriter bw;
+  EXPECT_EQ(bw.bit_count(), 0u);
+  bw.put_bits(0, 13);
+  EXPECT_EQ(bw.bit_count(), 13u);
+  bw.put_bits(0, 64);
+  EXPECT_EQ(bw.bit_count(), 77u);
+}
+
+TEST(BitStream, PaddedTailReadsZero) {
+  BitWriter bw;
+  bw.put_bit(1);
+  const Bytes bytes = bw.take();
+  EXPECT_EQ(bytes.size(), 1u);
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bit(), 1u);
+  // Past-end reads must be zero (ZFP stream semantics).
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(br.get_bit(), 0u);
+  EXPECT_TRUE(br.exhausted());
+}
+
+TEST(BitStream, MasksHighBits) {
+  BitWriter bw;
+  bw.put_bits(0xffffffffffffffffull, 5);  // only low 5 bits
+  bw.put_bits(0, 3);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bits(8), 0x1fu);
+}
+
+// Property: random sequences of mixed-width writes round-trip exactly.
+class BitStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitStreamFuzz, RandomRoundTrip) {
+  Rng rng(GetParam());
+  std::vector<std::pair<std::uint64_t, int>> writes;
+  BitWriter bw;
+  for (int i = 0; i < 3000; ++i) {
+    const int n = static_cast<int>(rng.next_below(65));
+    const std::uint64_t v = rng.next_u64();
+    writes.emplace_back(n < 64 ? (v & ((n ? (~0ull >> (64 - n)) : 0))) : v, n);
+    bw.put_bits(v, n);
+  }
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  for (const auto& [v, n] : writes) EXPECT_EQ(br.get_bits(n), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitStreamFuzz,
+                         ::testing::Values(1, 2, 3, 42, 1234, 99999));
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,189 @@
+// Tests for the common module: Shape/NdArray/Field, Rng, CLI parsing,
+// formatting, byte serialization and the table printer.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/cli.h"
+#include "common/error.h"
+#include "common/field.h"
+#include "common/format.h"
+#include "common/ndarray.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace eblcio {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{4, 5, 6};
+  EXPECT_EQ(s.ndims(), 3);
+  EXPECT_EQ(s.dim(0), 4u);
+  EXPECT_EQ(s.dim(2), 6u);
+  EXPECT_EQ(s.num_elements(), 120u);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{4, 5, 6};
+  const auto st = s.strides();
+  EXPECT_EQ(st[2], 1u);
+  EXPECT_EQ(st[1], 6u);
+  EXPECT_EQ(st[0], 30u);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({3, 2}));
+  EXPECT_FALSE(Shape({2, 3}) == Shape({2, 3, 1}));
+}
+
+TEST(Shape, RejectsBadDims) {
+  EXPECT_THROW(Shape({0, 3}), InvalidArgument);
+  EXPECT_THROW(Shape({1, 2, 3, 4, 5}), InvalidArgument);
+}
+
+TEST(NdArray, IndexingMatchesLinearLayout) {
+  NdArray<float> a(Shape{3, 4});
+  for (std::size_t i = 0; i < a.num_elements(); ++i)
+    a[i] = static_cast<float>(i);
+  EXPECT_EQ(a.at(1, 2), 6.0f);
+  EXPECT_EQ(a.at(2, 3), 11.0f);
+}
+
+TEST(NdArray, SizeBytes) {
+  NdArray<double> a(Shape{10, 10});
+  EXPECT_EQ(a.size_bytes(), 800u);
+}
+
+TEST(Field, DTypeAndRange) {
+  NdArray<float> a(Shape{4});
+  a[0] = -3.f;
+  a[1] = 0.f;
+  a[2] = 7.f;
+  a[3] = 2.f;
+  Field f("t", std::move(a));
+  EXPECT_EQ(f.dtype(), DType::kFloat32);
+  const auto r = f.value_range();
+  EXPECT_DOUBLE_EQ(r.min, -3.0);
+  EXPECT_DOUBLE_EQ(r.max, 7.0);
+  EXPECT_DOUBLE_EQ(r.span(), 10.0);
+}
+
+TEST(Field, BytesViewMatchesData) {
+  NdArray<double> a(Shape{3});
+  a[0] = 1.5;
+  Field f("t", std::move(a));
+  EXPECT_EQ(f.bytes().size(), 24u);
+  double v;
+  std::memcpy(&v, f.bytes().data(), 8);
+  EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Field, TypedAccessorThrowsOnWrongType) {
+  Field f("t", NdArray<float>(Shape{2}));
+  EXPECT_NO_THROW(f.as<float>());
+  EXPECT_THROW(f.as<double>(), InvalidArgument);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, NextBelowBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog",       "positional", "--alpha=1.5",
+                        "--name",     "hello",      "--verbose"};
+  CliArgs args(6, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0), 1.5);
+  EXPECT_EQ(args.get("name"), "hello");
+  EXPECT_TRUE(args.get_bool("verbose"));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("threads", 4), 4);
+  EXPECT_FALSE(args.has("anything"));
+}
+
+TEST(Format, HumanBytesDecimalUnits) {
+  EXPECT_EQ(human_bytes(512), "512B");
+  EXPECT_EQ(human_bytes(673'900'000), "673.9MB");
+  EXPECT_EQ(human_bytes(10'490'400'000ull), "10.5GB");
+}
+
+TEST(Format, ErrorBoundAxisLabels) {
+  EXPECT_EQ(fmt_error_bound(1e-3), "1E-03");
+  EXPECT_EQ(fmt_error_bound(1e-1), "1E-01");
+  EXPECT_EQ(fmt_error_bound(1e-5), "1E-05");
+}
+
+TEST(Format, Dims) {
+  EXPECT_EQ(fmt_dims({26, 1800, 3600}), "26x1800x3600");
+  EXPECT_EQ(fmt_dims({512}), "512");
+}
+
+TEST(Bytes, PodRoundTrip) {
+  Bytes b;
+  append_pod<std::uint32_t>(b, 0xdeadbeef);
+  append_pod<double>(b, 3.25);
+  append_string(b, "hi");
+  ByteReader r(b);
+  EXPECT_EQ(r.read_pod<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_DOUBLE_EQ(r.read_pod<double>(), 3.25);
+  EXPECT_EQ(r.read_string(), "hi");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Bytes, ReaderThrowsOnUnderrun) {
+  Bytes b;
+  append_pod<std::uint16_t>(b, 7);
+  ByteReader r(b);
+  EXPECT_THROW(r.read_pod<std::uint64_t>(), CorruptStream);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"a", "long-header"});
+  t.add_row({"x", "1"});
+  t.add_rule();
+  t.add_row({"longer-cell", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a           | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("longer-cell"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,116 @@
+// Uniform compressor API tests: registry, capabilities, blob framing,
+// cross-codec dispatch.
+#include <gtest/gtest.h>
+
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+#include "test_util.h"
+
+namespace eblcio {
+namespace {
+
+using test::noisy_field_1d;
+using test::smooth_field_2d;
+using test::smooth_field_3d;
+
+TEST(Registry, AllPaperCodecsPresent) {
+  for (const std::string& name : eblc_names())
+    EXPECT_EQ(compressor(name).name(), name);
+  for (const std::string& name : lossless_names())
+    EXPECT_EQ(compressor(name).name(), name);
+  EXPECT_EQ(eblc_names().size(), 5u);
+  EXPECT_EQ(lossless_names().size(), 4u);
+}
+
+TEST(Registry, CaseInsensitiveLookup) {
+  EXPECT_EQ(compressor("sz3").name(), "SZ3");
+  EXPECT_EQ(compressor("ZfP").name(), "ZFP");
+  EXPECT_EQ(compressor("qoz").name(), "QoZ");
+}
+
+TEST(Registry, UnknownCodecThrows) {
+  EXPECT_THROW(compressor("nope"), InvalidArgument);
+}
+
+TEST(Registry, AllNamesListsNine) {
+  EXPECT_EQ(all_compressor_names().size(), 9u);
+}
+
+TEST(Caps, MatchPaperRestrictions) {
+  EXPECT_EQ(compressor("QoZ").caps().min_dims, 2);
+  EXPECT_EQ(compressor("SZ2").caps().parallel_dims_mask, 0b0110u);
+  EXPECT_FALSE(compressor("ZFP").caps().parallel_decompress);
+  EXPECT_TRUE(compressor("SZx").caps().parallel_decompress);
+  for (const std::string& name : lossless_names())
+    EXPECT_TRUE(compressor(name).caps().lossless) << name;
+}
+
+TEST(Caps, SupportsChecksThreadsAndDims) {
+  CompressOptions serial;
+  CompressOptions parallel;
+  parallel.threads = 8;
+  EXPECT_TRUE(compressor("SZ2").supports(noisy_field_1d(), serial));
+  EXPECT_FALSE(compressor("SZ2").supports(noisy_field_1d(), parallel));
+  EXPECT_FALSE(compressor("QoZ").supports(noisy_field_1d(), serial));
+  EXPECT_TRUE(compressor("QoZ").supports(smooth_field_2d(), parallel));
+}
+
+TEST(BlobFraming, DecompressAnyDispatchesByHeader) {
+  const Field f = smooth_field_3d();
+  CompressOptions o;
+  o.error_bound = 1e-3;
+  for (const std::string& name : eblc_names()) {
+    if (!compressor(name).supports(f, o)) continue;
+    const Bytes blob = compressor(name).compress(f, o);
+    const BlobHeader h = peek_header(blob);
+    EXPECT_EQ(h.codec, name);
+    const Field r = decompress_any(blob);
+    EXPECT_TRUE(check_value_range_bound(f, r, 1e-3)) << name;
+  }
+}
+
+TEST(BlobFraming, HeaderRoundTrip) {
+  BlobHeader h;
+  h.codec = "SZ3";
+  h.dtype = DType::kFloat64;
+  h.dims = {11, 500, 500, 500};
+  h.abs_error_bound = 0.125;
+  h.requested_mode = BoundMode::kValueRangeRel;
+  h.requested_bound = 1e-3;
+  Bytes b;
+  h.encode(b);
+  ByteReader r(b);
+  const BlobHeader d = BlobHeader::decode(r);
+  EXPECT_EQ(d.codec, h.codec);
+  EXPECT_EQ(d.dtype, h.dtype);
+  EXPECT_EQ(d.dims, h.dims);
+  EXPECT_DOUBLE_EQ(d.abs_error_bound, h.abs_error_bound);
+  EXPECT_EQ(d.requested_mode, h.requested_mode);
+  EXPECT_DOUBLE_EQ(d.requested_bound, h.requested_bound);
+  EXPECT_EQ(d.num_elements(), 11u * 500 * 500 * 500);
+}
+
+TEST(BlobFraming, GarbageBlobThrows) {
+  Bytes garbage(64, std::byte{0x5a});
+  EXPECT_THROW(decompress_any(garbage), CorruptStream);
+  EXPECT_THROW(peek_header(garbage), CorruptStream);
+}
+
+TEST(BoundConversion, ValueRangeRelUsesSpan) {
+  NdArray<float> arr(Shape{2});
+  arr[0] = -50.f;
+  arr[1] = 50.f;
+  const Field f("t", std::move(arr));
+  CompressOptions o;
+  o.mode = BoundMode::kValueRangeRel;
+  o.error_bound = 1e-2;
+  EXPECT_DOUBLE_EQ(absolute_bound_for(f, o), 1.0);  // 0.01 * 100
+  o.mode = BoundMode::kAbsolute;
+  o.error_bound = 0.25;
+  EXPECT_DOUBLE_EQ(absolute_bound_for(f, o), 0.25);
+  o.mode = BoundMode::kLossless;
+  EXPECT_DOUBLE_EQ(absolute_bound_for(f, o), 0.0);
+}
+
+}  // namespace
+}  // namespace eblcio

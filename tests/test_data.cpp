@@ -1,0 +1,183 @@
+// Data-set generator tests: catalogue integrity, determinism, statistical
+// character, and the Fig. 13 inflation machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "data/dataset.h"
+#include "data/inflate.h"
+#include "data/smooth_noise.h"
+
+namespace eblcio {
+namespace {
+
+TEST(DatasetCatalog, ContainsTableTwoAndFigOneSets) {
+  const auto& cat = dataset_catalog();
+  for (const char* name :
+       {"CESM", "HACC", "NYX", "S3D", "QMCPack", "ISABEL", "EXAFEL"}) {
+    EXPECT_NO_THROW(dataset_spec(name)) << name;
+  }
+  EXPECT_GE(cat.size(), 7u);
+}
+
+TEST(DatasetCatalog, PaperDimensionsMatchTableTwo) {
+  EXPECT_EQ(dataset_spec("CESM").paper_dims,
+            (std::vector<std::size_t>{26, 1800, 3600}));
+  EXPECT_EQ(dataset_spec("HACC").paper_dims,
+            (std::vector<std::size_t>{280953867}));
+  EXPECT_EQ(dataset_spec("NYX").paper_dims,
+            (std::vector<std::size_t>{512, 512, 512}));
+  EXPECT_EQ(dataset_spec("S3D").paper_dims,
+            (std::vector<std::size_t>{11, 500, 500, 500}));
+  EXPECT_EQ(dataset_spec("S3D").dtype, DType::kFloat64);
+  EXPECT_EQ(dataset_spec("NYX").dtype, DType::kFloat32);
+}
+
+TEST(DatasetCatalog, UnknownNameThrows) {
+  EXPECT_THROW(dataset_spec("NOPE"), InvalidArgument);
+}
+
+TEST(DatasetCatalog, ScaledDimsKeepFieldCount) {
+  const auto dims = scaled_dims(dataset_spec("S3D"), 0.1);
+  EXPECT_EQ(dims[0], 11u);  // species axis preserved
+  EXPECT_EQ(dims[1], 50u);
+  const auto cesm = scaled_dims(dataset_spec("CESM"), 0.1);
+  EXPECT_EQ(cesm[0], 26u);  // level axis preserved
+}
+
+TEST(Generators, Deterministic) {
+  const Field a = generate_dataset_dims("NYX", {16, 16, 16}, 42);
+  const Field b = generate_dataset_dims("NYX", {16, 16, 16}, 42);
+  const Field c = generate_dataset_dims("NYX", {16, 16, 16}, 43);
+  ASSERT_EQ(a.num_elements(), b.num_elements());
+  bool all_equal = true, any_diff_seed = false;
+  for (std::size_t i = 0; i < a.num_elements(); ++i) {
+    if (a.as<float>()[i] != b.as<float>()[i]) all_equal = false;
+    if (a.as<float>()[i] != c.as<float>()[i]) any_diff_seed = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Generators, DefaultSizesAreWorkable) {
+  for (const char* name : {"CESM", "HACC", "NYX"}) {
+    const Field f = generate_dataset(name);
+    EXPECT_GT(f.num_elements(), 500000u) << name;
+    EXPECT_LT(f.size_bytes(), 300u << 20) << name;
+  }
+}
+
+TEST(Generators, NyxIsLogNormalWithHeavyTail) {
+  const Field f = generate_dataset_dims("NYX", {48, 48, 48}, 1);
+  const auto& arr = f.as<float>();
+  double mean = 0, maxv = 0;
+  for (std::size_t i = 0; i < arr.num_elements(); ++i) {
+    EXPECT_GT(arr[i], 0.0f);
+    mean += arr[i];
+    maxv = std::max(maxv, static_cast<double>(arr[i]));
+  }
+  mean /= static_cast<double>(arr.num_elements());
+  // Heavy tail: the max dominates the mean by a large factor.
+  EXPECT_GT(maxv / mean, 10.0);
+}
+
+TEST(Generators, HaccIsBoundedParticleBox) {
+  const Field f = generate_dataset_dims("HACC", {100000}, 2);
+  const auto r = f.value_range();
+  EXPECT_GE(r.min, 0.0);
+  EXPECT_LE(r.max, 256.0);
+  EXPECT_GT(r.span(), 100.0);  // particles spread through the box
+}
+
+TEST(Generators, CesmHasLatitudinalStructure) {
+  const Field f = generate_dataset_dims("CESM", {4, 64, 128}, 3);
+  const auto& arr = f.as<float>();
+  // Equator rows should be warmer than pole rows on average (banding term).
+  double pole = 0, equator = 0;
+  for (std::size_t j = 0; j < 128; ++j) {
+    pole += arr.at(0, 0, j);
+    equator += arr.at(0, 32, j);
+  }
+  EXPECT_GT(equator, pole + 128 * 10.0);
+}
+
+TEST(Generators, S3dIsDoubleWithSpeciesScales) {
+  const Field f = generate_dataset_dims("S3D", {4, 12, 12, 12}, 4);
+  EXPECT_EQ(f.dtype(), DType::kFloat64);
+  EXPECT_EQ(f.ndims(), 4);
+}
+
+TEST(Generators, ExafelHasSparseBrightPeaks) {
+  const Field f = generate_dataset_dims("EXAFEL", {2, 128, 128}, 5);
+  const auto& arr = f.as<float>();
+  std::size_t bright = 0;
+  for (std::size_t i = 0; i < arr.num_elements(); ++i)
+    if (arr[i] > 200.0f) ++bright;
+  EXPECT_GT(bright, 0u);
+  EXPECT_LT(bright, arr.num_elements() / 20);  // sparse
+}
+
+TEST(SmoothNoise, BlurReducesVariationAndPreservesMean) {
+  Rng rng(6);
+  Shape shape{64, 64};
+  auto data = white_noise(shape, rng);
+  const auto n = static_cast<double>(data.size());
+  double mean_before = 0;
+  for (double v : data) mean_before += v;
+  mean_before /= n;
+  auto copy = data;
+  box_blur(copy, shape, 4);
+  double mean_after = 0, tv_before = 0, tv_after = 0;
+  for (double v : copy) mean_after += v;
+  mean_after /= n;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    tv_before += std::fabs(data[i] - data[i - 1]);
+    tv_after += std::fabs(copy[i] - copy[i - 1]);
+  }
+  // Clamped boundaries shift the mean slightly; 0.05 sigma is generous.
+  EXPECT_NEAR(mean_after, mean_before, 0.05);
+  EXPECT_LT(tv_after, tv_before * 0.3);
+}
+
+TEST(SmoothNoise, StandardizedField) {
+  Rng rng(7);
+  auto g = smooth_gaussian_field(Shape{32, 32, 32}, 3, rng);
+  double mean = 0, var = 0;
+  for (double v : g) mean += v;
+  mean /= static_cast<double>(g.size());
+  for (double v : g) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(g.size());
+  EXPECT_NEAR(mean, 0.0, 1e-9);
+  EXPECT_NEAR(var, 1.0, 1e-6);
+}
+
+TEST(Inflate, DimensionsMultiply) {
+  const Field base = generate_dataset_dims("NYX", {12, 12, 12}, 8);
+  const Field big = inflate_field(base, 3);
+  EXPECT_EQ(big.shape().dim(0), 36u);
+  EXPECT_EQ(big.num_elements(), base.num_elements() * 27);
+}
+
+TEST(Inflate, FactorOneKeepsShape) {
+  const Field base = generate_dataset_dims("NYX", {10, 10, 10}, 8);
+  const Field same = inflate_field(base, 1);
+  EXPECT_EQ(same.shape(), base.shape());
+}
+
+TEST(Inflate, PreservesValueScale) {
+  const Field base = generate_dataset_dims("ISABEL", {8, 32, 32}, 9);
+  const Field big = inflate_field(base, 2);
+  const auto rb = base.value_range();
+  const auto ri = big.value_range();
+  EXPECT_NEAR(ri.min, rb.min, rb.span() * 0.2);
+  EXPECT_NEAR(ri.max, rb.max, rb.span() * 0.2);
+}
+
+TEST(Inflate, RejectsBadFactor) {
+  const Field base = generate_dataset_dims("NYX", {8, 8, 8}, 1);
+  EXPECT_THROW(inflate_field(base, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,148 @@
+// Canonical Huffman codec tests: round-trips, degenerate alphabets,
+// compression effectiveness, corrupt-stream handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "codec/huffman.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eblcio {
+namespace {
+
+std::vector<std::uint32_t> roundtrip(const std::vector<std::uint32_t>& syms,
+                                     std::uint32_t alphabet) {
+  const Bytes blob = huffman_encode(syms, alphabet);
+  return huffman_decode(blob);
+}
+
+TEST(Huffman, EmptyInput) {
+  EXPECT_TRUE(roundtrip({}, 10).empty());
+}
+
+TEST(Huffman, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> syms(1000, 7);
+  EXPECT_EQ(roundtrip(syms, 256), syms);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 100; ++i) syms.push_back(i % 2 ? 3u : 250u);
+  EXPECT_EQ(roundtrip(syms, 256), syms);
+}
+
+TEST(Huffman, SkewedDistributionCompresses) {
+  // 95% zeros: entropy ~0.3 bits/symbol; Huffman should get close to 1
+  // bit/symbol, far below the 4 bytes/symbol raw encoding.
+  Rng rng(5);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 100000; ++i)
+    syms.push_back(rng.next_double() < 0.95 ? 0u : 1u + rng.next_below(100));
+  const Bytes blob = huffman_encode(syms, 200);
+  EXPECT_LT(blob.size(), syms.size() / 4);  // < 2 bits per symbol
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+TEST(Huffman, NearOptimalOnGeometricDistribution) {
+  Rng rng(6);
+  std::vector<std::uint32_t> syms;
+  double entropy_bits = 0.0;
+  std::vector<std::size_t> counts(64, 0);
+  for (int i = 0; i < 200000; ++i) {
+    std::uint32_t s = 0;
+    while (s < 63 && rng.next_double() < 0.5) ++s;
+    syms.push_back(s);
+    ++counts[s];
+  }
+  for (std::size_t c : counts) {
+    if (!c) continue;
+    const double p = static_cast<double>(c) / syms.size();
+    entropy_bits += -p * std::log2(p);
+  }
+  const Bytes blob = huffman_encode(syms, 64);
+  const double bits_per_symbol = 8.0 * blob.size() / syms.size();
+  EXPECT_LT(bits_per_symbol, entropy_bits * 1.1 + 0.2);
+  EXPECT_EQ(huffman_decode(blob), syms);
+}
+
+TEST(Huffman, LargeAlphabetRoundTrip) {
+  // SZ-style 65537-entry alphabet with codes concentrated near the center.
+  Rng rng(8);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 50000; ++i) {
+    const double g = rng.normal() * 20.0;
+    syms.push_back(static_cast<std::uint32_t>(
+        std::clamp(32768.0 + g, 0.0, 65536.0)));
+  }
+  EXPECT_EQ(roundtrip(syms, 65537), syms);
+}
+
+TEST(Huffman, UniformBytesRoundTrip) {
+  Rng rng(10);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 10000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
+  EXPECT_EQ(roundtrip(syms, 256), syms);
+}
+
+TEST(Huffman, RejectsSymbolOutsideAlphabet) {
+  EXPECT_THROW(huffman_encode(std::vector<std::uint32_t>{300}, 256),
+               InvalidArgument);
+}
+
+TEST(Huffman, RejectsTruncatedBlob) {
+  const std::vector<std::uint32_t> syms(100, 3);
+  Bytes blob = huffman_encode(syms, 16);
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(huffman_decode(blob), CorruptStream);
+}
+
+TEST(HuffmanLengths, KraftInequalityHolds) {
+  Rng rng(3);
+  std::vector<std::uint64_t> freqs(1000);
+  for (auto& f : freqs) f = rng.next_below(10000);
+  const auto lengths = huffman_code_lengths(freqs);
+  long double kraft = 0;
+  for (std::size_t s = 0; s < freqs.size(); ++s) {
+    if (freqs[s] == 0) {
+      EXPECT_EQ(lengths[s], 0);
+    } else {
+      EXPECT_GE(lengths[s], 1);
+      EXPECT_LE(lengths[s], kMaxHuffmanBits);
+      kraft += std::pow(2.0L, -static_cast<int>(lengths[s]));
+    }
+  }
+  EXPECT_LE(kraft, 1.0L + 1e-12L);
+}
+
+TEST(HuffmanLengths, MoreFrequentGetsShorterOrEqualCode) {
+  std::vector<std::uint64_t> freqs = {1000, 10, 500, 1, 0};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[2], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[3]);
+}
+
+// Property sweep over random alphabets and sizes.
+class HuffmanFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(HuffmanFuzz, RandomRoundTrip) {
+  const auto [seed, alphabet] = GetParam();
+  Rng rng(seed);
+  std::vector<std::uint32_t> syms;
+  const int n = 1000 + static_cast<int>(rng.next_below(20000));
+  for (int i = 0; i < n; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.next_below(alphabet)));
+  EXPECT_EQ(roundtrip(syms, alphabet), syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndAlphabets, HuffmanFuzz,
+    ::testing::Combine(::testing::Values(1, 7, 21, 77),
+                       ::testing::Values(2, 3, 17, 256, 4096)));
+
+}  // namespace
+}  // namespace eblcio

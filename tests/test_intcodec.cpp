@@ -1,0 +1,102 @@
+// Integer-coding primitive tests: zigzag, negabinary, varint, shuffle.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "codec/intcodec.h"
+#include "codec/shuffle.h"
+#include "common/rng.h"
+
+namespace eblcio {
+namespace {
+
+TEST(ZigZag, KnownValues) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(ZigZag, RoundTripExtremes) {
+  for (std::int64_t v : {std::numeric_limits<std::int64_t>::min(),
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::int64_t{0}, std::int64_t{-1}}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(ZigZag, RandomRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_u64());
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+}
+
+TEST(Negabinary, RoundTrip) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_u64() >> 2);
+    EXPECT_EQ(uint2int_negabinary(int2uint_negabinary(v)), v);
+    EXPECT_EQ(uint2int_negabinary(int2uint_negabinary(-v)), -v);
+  }
+}
+
+TEST(Negabinary, SmallMagnitudesHaveFewBits) {
+  // The property ZFP's bit-plane coder relies on: values of small magnitude
+  // (either sign) have their significant bits in the low planes.
+  for (std::int64_t v = -8; v <= 8; ++v) {
+    const std::uint64_t u = int2uint_negabinary(v);
+    EXPECT_LT(u, 64u) << "v=" << v;
+  }
+}
+
+TEST(Varint, RoundTrip) {
+  Bytes b;
+  const std::uint64_t values[] = {0,   1,          127,          128,
+                                  300, 1000000ull, (1ull << 35), ~0ull};
+  for (auto v : values) varint_encode(b, v);
+  ByteReader r(b);
+  for (auto v : values) EXPECT_EQ(varint_decode(r), v);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Varint, SmallValuesOneByte) {
+  Bytes b;
+  varint_encode(b, 127);
+  EXPECT_EQ(b.size(), 1u);
+  varint_encode(b, 128);
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(Shuffle, RoundTrip) {
+  Rng rng(3);
+  Bytes data(8 * 1000);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+  for (std::size_t elem : {4u, 8u}) {
+    const Bytes shuffled = shuffle_bytes(data, elem);
+    EXPECT_EQ(unshuffle_bytes(shuffled, elem), data);
+  }
+}
+
+TEST(Shuffle, GroupsBytePositions) {
+  // Elements 0x04030201 repeated: after shuffle, first quarter should be
+  // all 0x01 bytes.
+  Bytes data;
+  for (int i = 0; i < 100; ++i)
+    for (std::uint8_t b : {1, 2, 3, 4}) data.push_back(std::byte{b});
+  const Bytes s = shuffle_bytes(data, 4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s[i], std::byte{1});
+    EXPECT_EQ(s[100 + i], std::byte{2});
+  }
+}
+
+TEST(Shuffle, RejectsMisalignedBuffer) {
+  EXPECT_THROW(shuffle_bytes(Bytes(10), 4), InvalidArgument);
+  EXPECT_THROW(unshuffle_bytes(Bytes(10), 8), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace eblcio

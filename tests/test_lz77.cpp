@@ -1,0 +1,139 @@
+// LZ77 codec tests: round-trips on varied content, ratio expectations,
+// overlapping matches, corrupt streams.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "codec/lz77.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace eblcio {
+namespace {
+
+Bytes to_bytes(const std::string& s) {
+  Bytes b(s.size());
+  std::memcpy(b.data(), s.data(), s.size());
+  return b;
+}
+
+void expect_roundtrip(const Bytes& data) {
+  const Bytes blob = lz_compress(data);
+  const Bytes back = lz_decompress(blob);
+  ASSERT_EQ(back.size(), data.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST(Lz77, EmptyInput) { expect_roundtrip({}); }
+
+TEST(Lz77, TinyInput) { expect_roundtrip(to_bytes("ab")); }
+
+TEST(Lz77, PureLiterals) { expect_roundtrip(to_bytes("abcdefgh")); }
+
+TEST(Lz77, RepeatedTextCompressesWell) {
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s += "the quick brown fox ";
+  const Bytes data = to_bytes(s);
+  const Bytes blob = lz_compress(data);
+  EXPECT_LT(blob.size(), data.size() / 20);
+  expect_roundtrip(data);
+}
+
+TEST(Lz77, OverlappingMatchRle) {
+  // 100k 'a's exercises dist=1 overlapping copies.
+  expect_roundtrip(Bytes(100000, std::byte{'a'}));
+}
+
+TEST(Lz77, AllByteValues) {
+  Bytes data(256 * 40);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i % 256);
+  expect_roundtrip(data);
+}
+
+TEST(Lz77, IncompressibleRandomDataSurvives) {
+  Rng rng(3);
+  Bytes data(65536);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next_below(256));
+  const Bytes blob = lz_compress(data);
+  // Random bytes should not shrink meaningfully, but must round-trip.
+  EXPECT_GT(blob.size(), data.size() / 2);
+  expect_roundtrip(data);
+}
+
+TEST(Lz77, FloatDataLowRatio) {
+  // The Fig. 1 point: byte-level LZ on floating-point fields barely helps.
+  Rng rng(4);
+  Bytes data(4 * 50000);
+  double v = 0.0;
+  for (std::size_t i = 0; i < data.size() / 4; ++i) {
+    v = 0.99 * v + 0.01 * rng.normal();
+    const float f = static_cast<float>(v);
+    std::memcpy(data.data() + 4 * i, &f, 4);
+  }
+  const Bytes blob = lz_compress(data);
+  const double ratio = static_cast<double>(data.size()) / blob.size();
+  EXPECT_LT(ratio, 3.0);
+  expect_roundtrip(data);
+}
+
+TEST(Lz77, RejectsBadMagic) {
+  Bytes blob = lz_compress(to_bytes("hello world hello world"));
+  blob[0] = static_cast<std::byte>(0xff);
+  EXPECT_THROW(lz_decompress(blob), CorruptStream);
+}
+
+TEST(Lz77, RejectsTruncatedBlob) {
+  Bytes blob = lz_compress(Bytes(10000, std::byte{'x'}));
+  blob.resize(blob.size() - 8);
+  EXPECT_THROW(lz_decompress(blob), CorruptStream);
+}
+
+TEST(Lz77, ProbeDepthTradesRatioForSpeed) {
+  std::string s;
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    s += "pattern-";
+    s += std::to_string(rng.next_below(30));
+  }
+  const Bytes data = to_bytes(s);
+  LzOptions shallow;
+  shallow.max_probes = 1;
+  LzOptions deep;
+  deep.max_probes = 128;
+  const auto blob_shallow = lz_compress(data, shallow);
+  const auto blob_deep = lz_compress(data, deep);
+  EXPECT_LE(blob_deep.size(), blob_shallow.size());
+  EXPECT_EQ(lz_decompress(blob_deep), lz_decompress(blob_shallow));
+}
+
+class Lz77Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lz77Fuzz, StructuredRandomRoundTrip) {
+  Rng rng(GetParam());
+  // Mix of runs, repeats and noise.
+  Bytes data;
+  for (int seg = 0; seg < 50; ++seg) {
+    const int kind = static_cast<int>(rng.next_below(3));
+    const std::size_t len = 10 + rng.next_below(3000);
+    if (kind == 0) {
+      data.insert(data.end(), len,
+                  static_cast<std::byte>(rng.next_below(256)));
+    } else if (kind == 1 && !data.empty()) {
+      const std::size_t src = rng.next_below(data.size());
+      for (std::size_t i = 0; i < len; ++i)
+        data.push_back(data[src + (i % (data.size() - src))]);
+    } else {
+      for (std::size_t i = 0; i < len; ++i)
+        data.push_back(static_cast<std::byte>(rng.next_below(256)));
+    }
+  }
+  expect_roundtrip(data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lz77Fuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,106 @@
+// Quality metric tests: MSE/PSNR known values, bound checking,
+// autocorrelation behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "metrics/error_stats.h"
+#include "test_util.h"
+
+namespace eblcio {
+namespace {
+
+Field make_f32(std::vector<float> v) {
+  const std::size_t n = v.size();
+  NdArray<float> arr(Shape{n}, std::move(v));
+  return Field("t", std::move(arr));
+}
+
+TEST(Metrics, IdenticalFieldsInfinitePsnr) {
+  const Field a = make_f32({1, 2, 3, 4});
+  const auto st = compute_error_stats(a, a);
+  EXPECT_DOUBLE_EQ(st.mse, 0.0);
+  EXPECT_TRUE(std::isinf(st.psnr_db));
+  EXPECT_DOUBLE_EQ(st.max_abs_error, 0.0);
+}
+
+TEST(Metrics, KnownMseAndPsnr) {
+  // Original [0, 10], recon off by 0.1 everywhere: MSE = 0.01,
+  // PSNR = 20*log10(10 / 0.1) = 40 dB (Eq. 2 with peak = max(D) = 10).
+  const Field a = make_f32({0, 10});
+  const Field b = make_f32({0.1f, 9.9f});
+  const auto st = compute_error_stats(a, b);
+  EXPECT_NEAR(st.mse, 0.01, 1e-6);       // float(0.1) is not exact
+  EXPECT_NEAR(st.psnr_db, 40.0, 1e-3);
+  EXPECT_NEAR(st.max_abs_error, 0.1, 1e-6);
+  EXPECT_NEAR(st.max_rel_error, 0.01, 1e-6);
+}
+
+TEST(Metrics, ValueRangeBoundCheck) {
+  const Field a = make_f32({0, 100});
+  const Field good = make_f32({0.5f, 99.5f});
+  const Field bad = make_f32({2.0f, 98.0f});
+  EXPECT_TRUE(check_value_range_bound(a, good, 0.01));   // 0.5 <= 1.0
+  EXPECT_FALSE(check_value_range_bound(a, bad, 0.01));   // 2.0 > 1.0
+}
+
+TEST(Metrics, MismatchedShapesThrow) {
+  const Field a = make_f32({1, 2, 3});
+  const Field b = make_f32({1, 2});
+  EXPECT_THROW(compute_error_stats(a, b), InvalidArgument);
+}
+
+TEST(Metrics, MismatchedTypesThrow) {
+  const Field a = make_f32({1, 2});
+  NdArray<double> d(Shape{2});
+  const Field b("t", std::move(d));
+  EXPECT_THROW(compute_error_stats(a, b), InvalidArgument);
+}
+
+TEST(Metrics, AutocorrelationDetectsStructuredError) {
+  // Error = constant offset: perfectly correlated (lag-1 autocorr ~ 1 would
+  // need variance; constant error has zero variance => 0). Use a slow sine
+  // error instead, which is strongly lag-1 correlated.
+  const std::size_t n = 4096;
+  NdArray<float> a(Shape{n}), b(Shape{n});
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i % 17);
+    b[i] = a[i] + 0.01f * static_cast<float>(std::sin(0.01 * i));
+  }
+  const Field fa("a", std::move(a)), fb("b", std::move(b));
+  const auto st = compute_error_stats(fa, fb);
+  EXPECT_GT(st.error_autocorr_lag1, 0.9);
+}
+
+TEST(Metrics, AutocorrelationNearZeroForWhiteError) {
+  Rng rng(5);
+  const std::size_t n = 8192;
+  NdArray<float> a(Shape{n}), b(Shape{n});
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = static_cast<float>(i % 13);
+    b[i] = a[i] + 0.01f * static_cast<float>(rng.normal());
+  }
+  const Field fa("a", std::move(a)), fb("b", std::move(b));
+  const auto st = compute_error_stats(fa, fb);
+  EXPECT_LT(std::fabs(st.error_autocorr_lag1), 0.1);
+}
+
+TEST(Metrics, CompressionRatioHelper) {
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 10), 100.0);
+  EXPECT_DOUBLE_EQ(compression_ratio(1000, 0), 0.0);
+}
+
+TEST(Metrics, DoublePrecisionFields) {
+  NdArray<double> a(Shape{3}), b(Shape{3});
+  for (int i = 0; i < 3; ++i) {
+    a[i] = i;
+    b[i] = i + 1e-12;
+  }
+  const Field fa("a", std::move(a)), fb("b", std::move(b));
+  const auto st = compute_error_stats(fa, fb);
+  EXPECT_NEAR(st.max_abs_error, 1e-12, 1e-15);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,127 @@
+// PFS simulator tests: striping correctness, bandwidth/latency model,
+// contention behaviour (the Fig. 12 mechanism).
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "io/pfs.h"
+
+namespace eblcio {
+namespace {
+
+Bytes random_bytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Bytes b(n);
+  for (auto& x : b) x = static_cast<std::byte>(rng.next_below(256));
+  return b;
+}
+
+TEST(Pfs, WriteReadRoundTrip) {
+  PfsSimulator pfs;
+  const Bytes data = random_bytes(3u << 20, 1);  // 3 MB: several stripes
+  pfs.write_file("/a/b", data, 1);
+  EXPECT_TRUE(pfs.exists("/a/b"));
+  EXPECT_EQ(pfs.file_size("/a/b"), data.size());
+  EXPECT_EQ(pfs.read_file("/a/b"), data);
+}
+
+TEST(Pfs, EmptyFile) {
+  PfsSimulator pfs;
+  pfs.write_file("/empty", {}, 1);
+  EXPECT_EQ(pfs.read_file("/empty").size(), 0u);
+}
+
+TEST(Pfs, OverwriteReplacesContent) {
+  PfsSimulator pfs;
+  pfs.write_file("/f", random_bytes(1000, 2), 1);
+  const Bytes second = random_bytes(500, 3);
+  pfs.write_file("/f", second, 1);
+  EXPECT_EQ(pfs.read_file("/f"), second);
+}
+
+TEST(Pfs, MissingFileThrows) {
+  PfsSimulator pfs;
+  EXPECT_THROW(pfs.read_file("/nope"), InvalidArgument);
+  EXPECT_THROW(pfs.file_size("/nope"), InvalidArgument);
+}
+
+TEST(Pfs, RemoveAndList) {
+  PfsSimulator pfs;
+  pfs.write_file("/x", random_bytes(10, 4), 1);
+  pfs.write_file("/y", random_bytes(10, 5), 1);
+  EXPECT_EQ(pfs.list_files().size(), 2u);
+  pfs.remove("/x");
+  EXPECT_FALSE(pfs.exists("/x"));
+  EXPECT_EQ(pfs.list_files().size(), 1u);
+}
+
+TEST(Pfs, StripesSpreadAcrossOsts) {
+  PfsConfig cfg;
+  cfg.stripe_count = 4;
+  cfg.num_osts = 8;
+  PfsSimulator pfs(cfg);
+  pfs.write_file("/big", random_bytes(8u << 20, 6), 1);  // 8 stripes
+  const auto usage = pfs.ost_usage();
+  int used = 0;
+  for (auto u : usage)
+    if (u > 0) ++used;
+  EXPECT_EQ(used, 4);  // exactly stripe_count OSTs carry data
+}
+
+TEST(Pfs, WriteTimeScalesWithBytes) {
+  PfsSimulator pfs;
+  const auto small = pfs.write_file("/s", random_bytes(1u << 20, 7), 1);
+  const auto large = pfs.write_file("/l", random_bytes(64u << 20, 8), 1);
+  EXPECT_GT(large.seconds, small.seconds * 10);
+}
+
+TEST(Pfs, SmallWritesDominatedByLatency) {
+  PfsSimulator pfs;
+  const auto tiny = pfs.write_file("/t", random_bytes(1024, 9), 1);
+  EXPECT_GE(tiny.seconds, pfs.config().open_latency_s);
+  EXPECT_LT(tiny.seconds, pfs.config().open_latency_s * 3);
+}
+
+TEST(Pfs, ContentionReducesPerClientBandwidth) {
+  PfsSimulator pfs;
+  double prev_bw = 1e18;
+  for (int clients : {1, 8, 64, 512}) {
+    const double t = pfs.transfer_seconds(32u << 20, clients);
+    const double bw = (32.0 * (1u << 20)) / t;
+    EXPECT_LT(bw, prev_bw * 1.001);
+    prev_bw = bw;
+  }
+}
+
+TEST(Pfs, AggregateCapacitySaturates) {
+  // The Fig. 12 jump: once clients * demand exceeds aggregate PFS
+  // bandwidth, per-client time grows ~linearly with client count.
+  PfsSimulator pfs;
+  const std::size_t bytes = 64u << 20;
+  const double t256 = pfs.transfer_seconds(bytes, 256);
+  const double t512 = pfs.transfer_seconds(bytes, 512);
+  EXPECT_GT(t512, t256 * 1.8);  // near-linear growth in the saturated regime
+  // While 1 -> 2 clients is barely affected (client-link bound).
+  const double t1 = pfs.transfer_seconds(bytes, 1);
+  const double t2 = pfs.transfer_seconds(bytes, 2);
+  EXPECT_LT(t2, t1 * 1.3);
+}
+
+TEST(Pfs, ReadCostMatchesContentionModel) {
+  PfsSimulator pfs;
+  pfs.write_file("/r", random_bytes(8u << 20, 10), 1);
+  const auto solo = pfs.read_cost("/r", 1);
+  const auto busy = pfs.read_cost("/r", 256);
+  EXPECT_GT(busy.seconds, solo.seconds);
+  EXPECT_EQ(solo.bytes, 8u << 20);
+}
+
+TEST(Pfs, RejectsBadConfig) {
+  PfsConfig cfg;
+  cfg.stripe_count = 20;
+  cfg.num_osts = 8;
+  EXPECT_THROW(PfsSimulator{cfg}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,105 @@
+// QoZ compressor tests: quality-oriented tuning behaviour, bound
+// guarantees, the documented 1D restriction.
+#include <gtest/gtest.h>
+
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+#include "test_util.h"
+
+namespace eblcio {
+namespace {
+
+using test::double_field_4d;
+using test::noisy_field_1d;
+using test::smooth_field_2d;
+using test::smooth_field_3d;
+
+CompressOptions rel(double eb, int threads = 1) {
+  CompressOptions o;
+  o.mode = BoundMode::kValueRangeRel;
+  o.error_bound = eb;
+  o.threads = threads;
+  return o;
+}
+
+class QozBound
+    : public ::testing::TestWithParam<std::tuple<double, std::string>> {};
+
+TEST_P(QozBound, GuaranteesValueRangeBound) {
+  const auto [eb, which] = GetParam();
+  Field f;
+  if (which == "2d") f = smooth_field_2d();
+  else if (which == "3d") f = smooth_field_3d();
+  else f = double_field_4d();
+
+  Compressor& c = compressor("QoZ");
+  const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb)) << which << " eb=" << eb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundSweep, QozBound,
+    ::testing::Combine(::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+                       ::testing::Values("2d", "3d", "4d")));
+
+TEST(Qoz, Rejects1dData) {
+  // Paper Sec. IV-C: "QoZ is not capable of compressing 1D data."
+  Compressor& c = compressor("QoZ");
+  EXPECT_THROW(c.compress(noisy_field_1d(), rel(1e-3)), Unsupported);
+  CompressOptions o = rel(1e-3);
+  EXPECT_FALSE(c.supports(noisy_field_1d(), o));
+}
+
+TEST(Qoz, QualityAtLeastSz3AtSameBound) {
+  // QoZ's design goal: better (or equal) quality than SZ3 at a bound,
+  // thanks to level-wise error control.
+  const Field f = smooth_field_3d(48);
+  Compressor& qoz = compressor("QoZ");
+  Compressor& sz3 = compressor("SZ3");
+  const double eb = 1e-2;
+  const auto q_st = compute_error_stats(
+      f, qoz.decompress(qoz.compress(f, rel(eb)), 1));
+  const auto s_st = compute_error_stats(
+      f, sz3.decompress(sz3.compress(f, rel(eb)), 1));
+  EXPECT_GE(q_st.psnr_db, s_st.psnr_db - 1.0);
+}
+
+TEST(Qoz, DenserAnchorsThanAutoStride) {
+  // QoZ stores an anchor grid every 64 points; on a 128^3 field that is
+  // more exact storage than SZ3's single auto anchor, so QoZ blobs can be
+  // slightly larger on very smooth data — but never catastrophically so.
+  const Field f = smooth_field_3d(64);
+  const auto qoz_size = compressor("QoZ").compress(f, rel(1e-3)).size();
+  const auto sz3_size = compressor("SZ3").compress(f, rel(1e-3)).size();
+  EXPECT_LT(qoz_size, sz3_size * 4);
+}
+
+TEST(Qoz, ParallelSlabsPreserveBound) {
+  Compressor& c = compressor("QoZ");
+  const Field f = smooth_field_3d(40);
+  for (int threads : {2, 4}) {
+    const Bytes blob = c.compress(f, rel(1e-3, threads));
+    EXPECT_TRUE(
+        check_value_range_bound(f, c.decompress(blob, threads), 1e-3));
+  }
+}
+
+TEST(Qoz, SelfDescribingBlob) {
+  Compressor& c = compressor("QoZ");
+  const Field f = smooth_field_2d();
+  const Bytes blob = c.compress(f, rel(1e-3));
+  const BlobHeader h = peek_header(blob);
+  EXPECT_EQ(h.codec, "QoZ");
+  const Field r = decompress_any(blob);
+  EXPECT_TRUE(check_value_range_bound(f, r, 1e-3));
+}
+
+TEST(Qoz, TruncatedBlobThrows) {
+  Compressor& c = compressor("QoZ");
+  Bytes blob = c.compress(smooth_field_2d(), rel(1e-3));
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(c.decompress(blob, 1), CorruptStream);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -1,0 +1,151 @@
+// simmpi runtime tests: point-to-point ordering, collectives, simulated
+// clock synchronization, error propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "common/error.h"
+#include "parallel/simmpi.h"
+
+namespace eblcio {
+namespace {
+
+TEST(SimMpi, SingleRankRuns) {
+  int visited = 0;
+  SimMpiWorld::run(1, [&](Communicator& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    visited = 1;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(SimMpi, PointToPointFifoOrder) {
+  std::vector<double> received;
+  SimMpiWorld::run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      for (int i = 0; i < 10; ++i) comm.send_double(1, 5, i * 1.5);
+    } else {
+      for (int i = 0; i < 10; ++i) received.push_back(comm.recv_double(0, 5));
+    }
+  });
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(received[i], i * 1.5);
+}
+
+TEST(SimMpi, TagsAreIndependentChannels) {
+  double a = 0, b = 0;
+  SimMpiWorld::run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send_double(1, 2, 22.0);
+      comm.send_double(1, 1, 11.0);
+    } else {
+      a = comm.recv_double(0, 1);  // receive tag 1 first despite send order
+      b = comm.recv_double(0, 2);
+    }
+  });
+  EXPECT_DOUBLE_EQ(a, 11.0);
+  EXPECT_DOUBLE_EQ(b, 22.0);
+}
+
+TEST(SimMpi, AllreduceSum) {
+  std::vector<double> results(8, -1);
+  SimMpiWorld::run(8, [&](Communicator& comm) {
+    results[comm.rank()] =
+        comm.allreduce_sum(static_cast<double>(comm.rank() + 1));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 36.0);  // 1+..+8
+}
+
+TEST(SimMpi, AllreduceMax) {
+  std::vector<double> results(5, -1);
+  SimMpiWorld::run(5, [&](Communicator& comm) {
+    results[comm.rank()] =
+        comm.allreduce_max(static_cast<double>((comm.rank() * 7) % 5));
+  });
+  for (double r : results) EXPECT_DOUBLE_EQ(r, 4.0);
+}
+
+TEST(SimMpi, GatherAtRoot) {
+  std::vector<double> gathered;
+  SimMpiWorld::run(6, [&](Communicator& comm) {
+    auto g = comm.gather(static_cast<double>(comm.rank() * comm.rank()), 2);
+    if (comm.rank() == 2) gathered = g;
+    else EXPECT_TRUE(g.empty());
+  });
+  ASSERT_EQ(gathered.size(), 6u);
+  for (int r = 0; r < 6; ++r) EXPECT_DOUBLE_EQ(gathered[r], r * r);
+}
+
+TEST(SimMpi, Broadcast) {
+  std::vector<int> ok(4, 0);
+  SimMpiWorld::run(4, [&](Communicator& comm) {
+    Bytes data;
+    if (comm.rank() == 1) {
+      const double v = 3.25;
+      data.resize(8);
+      std::memcpy(data.data(), &v, 8);
+    }
+    const Bytes out = comm.bcast(std::move(data), 1);
+    double v = 0;
+    ASSERT_EQ(out.size(), 8u);
+    std::memcpy(&v, out.data(), 8);
+    if (v == 3.25) ok[comm.rank()] = 1;
+  });
+  for (int o : ok) EXPECT_EQ(o, 1);
+}
+
+TEST(SimMpi, BarrierSynchronizesClocksToMax) {
+  std::vector<double> times(4, 0);
+  SimMpiWorld::run(4, [&](Communicator& comm) {
+    comm.advance_time(static_cast<double>(comm.rank()) * 2.0);  // 0,2,4,6
+    comm.barrier();
+    times[comm.rank()] = comm.sim_time();
+  });
+  for (double t : times) EXPECT_DOUBLE_EQ(t, 6.0);
+}
+
+TEST(SimMpi, ClockAccumulatesAcrossPhases) {
+  SimMpiWorld::run(2, [&](Communicator& comm) {
+    comm.advance_time(1.0);
+    comm.barrier();
+    comm.advance_time(0.5);
+    comm.barrier();
+    EXPECT_DOUBLE_EQ(comm.sim_time(), 1.5);
+  });
+}
+
+TEST(SimMpi, ManyRanksScale) {
+  std::atomic<int> count{0};
+  SimMpiWorld::run(64, [&](Communicator& comm) {
+    (void)comm.allreduce_sum(1.0);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(SimMpi, RankExceptionPropagates) {
+  EXPECT_THROW(
+      SimMpiWorld::run(1,
+                       [](Communicator&) { throw InvalidArgument("boom"); }),
+      InvalidArgument);
+}
+
+TEST(SimMpi, RejectsBadRankCount) {
+  EXPECT_THROW(SimMpiWorld::run(0, [](Communicator&) {}), InvalidArgument);
+}
+
+TEST(SimMpi, RejectsBadPeer) {
+  SimMpiWorld::run(2, [&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send_double(5, 0, 1.0), InvalidArgument);
+      comm.send_double(1, 0, 1.0);  // unblock peer
+    } else {
+      (void)comm.recv_double(0, 0);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace eblcio

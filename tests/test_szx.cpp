@@ -1,0 +1,144 @@
+// SZx compressor tests: error-bound guarantee, block behaviours, parallel
+// equivalence.
+#include <gtest/gtest.h>
+
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+#include "test_util.h"
+
+namespace eblcio {
+namespace {
+
+using test::constant_field;
+using test::double_field_4d;
+using test::noisy_field_1d;
+using test::smooth_field_2d;
+using test::smooth_field_3d;
+using test::spiky_field;
+
+CompressOptions rel(double eb, int threads = 1) {
+  CompressOptions o;
+  o.mode = BoundMode::kValueRangeRel;
+  o.error_bound = eb;
+  o.threads = threads;
+  return o;
+}
+
+class SzxBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(SzxBound, GuaranteesValueRangeBound3D) {
+  const double eb = GetParam();
+  Compressor& c = compressor("SZx");
+  const Field f = smooth_field_3d();
+  const Bytes blob = c.compress(f, rel(eb));
+  const Field r = c.decompress(blob, 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb)) << "eb=" << eb;
+}
+
+TEST_P(SzxBound, GuaranteesBoundOnNoisy1D) {
+  const double eb = GetParam();
+  Compressor& c = compressor("SZx");
+  const Field f = noisy_field_1d();
+  const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb));
+}
+
+TEST_P(SzxBound, GuaranteesBoundOnSpikyData) {
+  const double eb = GetParam();
+  Compressor& c = compressor("SZx");
+  const Field f = spiky_field();
+  const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb));
+}
+
+TEST_P(SzxBound, GuaranteesBoundOnDouble4D) {
+  const double eb = GetParam();
+  Compressor& c = compressor("SZx");
+  const Field f = double_field_4d();
+  const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb));
+  EXPECT_EQ(r.dtype(), DType::kFloat64);
+}
+
+INSTANTIATE_TEST_SUITE_P(BoundSweep, SzxBound,
+                         ::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5,
+                                           1e-6));
+
+TEST(Szx, ConstantFieldCollapsesToConstantBlocks) {
+  Compressor& c = compressor("SZx");
+  const Field f = constant_field(100000);
+  const Bytes blob = c.compress(f, rel(1e-3));
+  EXPECT_LT(blob.size(), f.size_bytes() / 50);
+  const Field r = c.decompress(blob, 1);
+  for (std::size_t i = 0; i < r.num_elements(); ++i)
+    EXPECT_EQ(r.as<float>()[i], 42.5f);
+}
+
+TEST(Szx, RatioDecreasesWithTighterBound) {
+  Compressor& c = compressor("SZx");
+  const Field f = smooth_field_3d(48);
+  const std::size_t loose = c.compress(f, rel(1e-1)).size();
+  const std::size_t mid = c.compress(f, rel(1e-3)).size();
+  const std::size_t tight = c.compress(f, rel(1e-5)).size();
+  EXPECT_LE(loose, mid);
+  EXPECT_LE(mid, tight);
+}
+
+TEST(Szx, TightBoundFallsBackToRawBlocks) {
+  // A bound below float precision must still round-trip within bound
+  // (via raw IEEE storage), just without compression.
+  Compressor& c = compressor("SZx");
+  const Field f = noisy_field_1d(2048);
+  const Bytes blob = c.compress(f, rel(1e-9));
+  const Field r = c.decompress(blob, 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, 1e-9));
+}
+
+TEST(Szx, ParallelMatchesBoundAndIsSelfDescribing) {
+  Compressor& c = compressor("SZx");
+  const Field f = smooth_field_3d(40);
+  for (int threads : {2, 4, 8}) {
+    const Bytes blob = c.compress(f, rel(1e-3, threads));
+    const Field r = decompress_any(blob, threads);
+    EXPECT_TRUE(check_value_range_bound(f, r, 1e-3)) << threads;
+  }
+}
+
+TEST(Szx, HeaderRecordsMetadata) {
+  Compressor& c = compressor("SZx");
+  const Field f = smooth_field_2d();
+  const Bytes blob = c.compress(f, rel(1e-2));
+  const BlobHeader h = peek_header(blob);
+  EXPECT_EQ(h.codec, "SZx");
+  EXPECT_EQ(h.dims, f.shape().dims_vector());
+  EXPECT_EQ(h.requested_bound, 1e-2);
+  EXPECT_GT(h.abs_error_bound, 0.0);
+}
+
+TEST(Szx, RejectsLosslessMode) {
+  Compressor& c = compressor("SZx");
+  CompressOptions o;
+  o.mode = BoundMode::kLossless;
+  EXPECT_THROW(c.compress(smooth_field_2d(), o), InvalidArgument);
+}
+
+TEST(Szx, AbsoluteBoundMode) {
+  Compressor& c = compressor("SZx");
+  CompressOptions o;
+  o.mode = BoundMode::kAbsolute;
+  o.error_bound = 0.05;
+  const Field f = smooth_field_3d();
+  const Field r = c.decompress(c.compress(f, o), 1);
+  const auto st = compute_error_stats(f, r);
+  EXPECT_LE(st.max_abs_error, 0.05 * (1 + 1e-9));
+}
+
+TEST(Szx, TruncatedBlobThrows) {
+  Compressor& c = compressor("SZx");
+  Bytes blob = c.compress(smooth_field_2d(), rel(1e-3));
+  blob.resize(blob.size() / 3);
+  EXPECT_THROW(c.decompress(blob, 1), CorruptStream);
+}
+
+}  // namespace
+}  // namespace eblcio

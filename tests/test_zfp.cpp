@@ -1,0 +1,154 @@
+// ZFP compressor tests: transform correctness, fixed-accuracy bound
+// guarantees, the compression-only OpenMP policy.
+#include <gtest/gtest.h>
+
+#include "compressors/compressor.h"
+#include "metrics/error_stats.h"
+#include "test_util.h"
+
+namespace eblcio {
+namespace {
+
+using test::constant_field;
+using test::double_field_4d;
+using test::noisy_field_1d;
+using test::smooth_field_2d;
+using test::smooth_field_3d;
+using test::spiky_field;
+
+CompressOptions rel(double eb, int threads = 1) {
+  CompressOptions o;
+  o.mode = BoundMode::kValueRangeRel;
+  o.error_bound = eb;
+  o.threads = threads;
+  return o;
+}
+
+class ZfpBound
+    : public ::testing::TestWithParam<std::tuple<double, std::string>> {};
+
+TEST_P(ZfpBound, GuaranteesValueRangeBound) {
+  const auto [eb, which] = GetParam();
+  Field f;
+  if (which == "1d") f = noisy_field_1d();
+  else if (which == "2d") f = smooth_field_2d();
+  else if (which == "3d") f = smooth_field_3d();
+  else f = double_field_4d();
+
+  Compressor& c = compressor("ZFP");
+  const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, eb)) << which << " eb=" << eb;
+  EXPECT_EQ(r.shape(), f.shape());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BoundSweep, ZfpBound,
+    ::testing::Combine(::testing::Values(1e-1, 1e-2, 1e-3, 1e-4, 1e-5),
+                       ::testing::Values("1d", "2d", "3d", "4d")));
+
+TEST(Zfp, AllZeroBlocksAreOneBit) {
+  NdArray<float> arr(Shape{64, 64, 64});  // all zeros
+  const Field f("zeros", std::move(arr));
+  Compressor& c = compressor("ZFP");
+  const Bytes blob = c.compress(f, rel(1e-3));
+  // 4096 blocks, ~1 bit each + header: far below one byte per block * 10.
+  EXPECT_LT(blob.size(), 4096u);
+  const Field r = c.decompress(blob, 1);
+  for (std::size_t i = 0; i < r.num_elements(); ++i)
+    EXPECT_EQ(r.as<float>()[i], 0.0f);
+}
+
+TEST(Zfp, SmoothFieldCompressesWell) {
+  Compressor& c = compressor("ZFP");
+  const Field f = smooth_field_3d(48);
+  const Bytes blob = c.compress(f, rel(1e-2));
+  // ~6.5 bits/value: the 2(d+1) guard planes below the tolerance are the
+  // dominant cost on noisy-smooth data, as with the reference coder.
+  EXPECT_GT(compression_ratio(f.size_bytes(), blob.size()), 4.0);
+}
+
+TEST(Zfp, ErrorTracksToleranceNotJustBelowBound) {
+  // Fixed-accuracy mode should use the tolerance budget: at a loose bound
+  // the observed max error should be within ~3 orders of magnitude of the
+  // tolerance (not e.g. lossless).
+  Compressor& c = compressor("ZFP");
+  const Field f = smooth_field_3d(48);
+  const Field r = c.decompress(c.compress(f, rel(1e-2)), 1);
+  const auto st = compute_error_stats(f, r);
+  EXPECT_GT(st.max_rel_error, 1e-6);
+  EXPECT_LE(st.max_rel_error, 1e-2 * (1 + 1e-9));
+}
+
+TEST(Zfp, SpikyDataRespectsBound) {
+  Compressor& c = compressor("ZFP");
+  const Field f = spiky_field();
+  for (double eb : {1e-2, 1e-4}) {
+    const Field r = c.decompress(c.compress(f, rel(eb)), 1);
+    EXPECT_TRUE(check_value_range_bound(f, r, eb));
+  }
+}
+
+TEST(Zfp, ConstantFieldWithinBound) {
+  Compressor& c = compressor("ZFP");
+  const Field f = constant_field(10000, 13.5f);
+  const Field r = c.decompress(c.compress(f, rel(1e-3)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, 1e-3));
+}
+
+TEST(Zfp, NonBlockAlignedDims) {
+  NdArray<float> arr(Shape{9, 17, 6});
+  for (std::size_t i = 0; i < arr.num_elements(); ++i)
+    arr[i] = 0.01f * static_cast<float>((i * 53) % 211);
+  const Field f("odd", std::move(arr));
+  Compressor& c = compressor("ZFP");
+  const Field r = c.decompress(c.compress(f, rel(1e-3)), 1);
+  EXPECT_TRUE(check_value_range_bound(f, r, 1e-3));
+}
+
+TEST(Zfp, ParallelCompressionMatchesSerialOutputSizeClosely) {
+  Compressor& c = compressor("ZFP");
+  const Field f = smooth_field_3d(48);
+  const auto serial = c.compress(f, rel(1e-3, 1));
+  const auto parallel = c.compress(f, rel(1e-3, 8));
+  // Same blocks, same planes — only sub-stream padding differs.
+  EXPECT_LT(std::abs(static_cast<long>(serial.size()) -
+                     static_cast<long>(parallel.size())),
+            static_cast<long>(serial.size() / 10 + 256));
+  // Both decode to in-bound reconstructions.
+  EXPECT_TRUE(check_value_range_bound(f, c.decompress(parallel, 1), 1e-3));
+}
+
+TEST(Zfp, DecompressIgnoresThreadArgument) {
+  // zfp 1.0's OpenMP policy: decompression is serial. The thread argument
+  // must not change results.
+  Compressor& c = compressor("ZFP");
+  const Field f = smooth_field_3d();
+  const Bytes blob = c.compress(f, rel(1e-3, 4));
+  const Field a = c.decompress(blob, 1);
+  const Field b = c.decompress(blob, 16);
+  for (std::size_t i = 0; i < a.num_elements(); ++i)
+    EXPECT_EQ(a.as<float>()[i], b.as<float>()[i]);
+  EXPECT_FALSE(c.caps().parallel_decompress);
+}
+
+TEST(Zfp, RatioImprovesWithLooserBound) {
+  Compressor& c = compressor("ZFP");
+  const Field f = smooth_field_3d(48);
+  std::size_t prev = 0;
+  for (double eb : {1e-1, 1e-3, 1e-5}) {
+    const std::size_t size = c.compress(f, rel(eb)).size();
+    EXPECT_GE(size, prev);
+    prev = size;
+  }
+}
+
+TEST(Zfp, DoublePrecisionPath) {
+  Compressor& c = compressor("ZFP");
+  const Field f = double_field_4d();
+  const Field r = c.decompress(c.compress(f, rel(1e-4)), 1);
+  EXPECT_EQ(r.dtype(), DType::kFloat64);
+  EXPECT_TRUE(check_value_range_bound(f, r, 1e-4));
+}
+
+}  // namespace
+}  // namespace eblcio
