@@ -1,0 +1,108 @@
+// Google-benchmark micro-kernels for the shared executor: dispatch
+// overhead, parallel_for fan-out, channel hand-off, and the streaming
+// compress→write pipeline against its serial schedule.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "io/pfs.h"
+#include "parallel/executor.h"
+
+namespace {
+
+using namespace eblcio;
+
+// Round-trip latency of submitting one empty task and waiting for it —
+// the floor every parallel site pays per task.
+void BM_DispatchSingleTask(benchmark::State& state) {
+  for (auto _ : state) {
+    TaskGroup group;
+    group.run([] {});
+    group.wait();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DispatchSingleTask);
+
+// Amortized dispatch cost with a full batch in flight.
+void BM_DispatchBatch(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    TaskGroup group;
+    for (int i = 0; i < n; ++i) group.run([&] { count.fetch_add(1); });
+    group.wait();
+    benchmark::DoNotOptimize(count.load());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_DispatchBatch)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_ParallelFor(benchmark::State& state) {
+  const std::size_t n = 1 << 16;
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    parallel_for(n, static_cast<int>(state.range(0)), [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelFor)->Arg(1)->Arg(4)->Arg(16);
+
+// Producer/consumer hand-off through the bounded channel (the streaming
+// pipeline's coupling cost).
+void BM_ChannelHandoff(benchmark::State& state) {
+  const int n = 1024;
+  for (auto _ : state) {
+    BoundedChannel<int> ch(2);
+    TaskGroup group;
+    group.run([&] {
+      for (int i = 0; i < n; ++i) ch.push(i);
+      ch.close();
+    });
+    long long sum = 0;
+    while (auto v = ch.pop()) sum += *v;
+    group.wait();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ChannelHandoff);
+
+const Field& stream_field() {
+  static const Field f = generate_dataset_dims("NYX", {64, 64, 64}, 7);
+  return f;
+}
+
+// Streaming vs serial write schedule. Reports the modeled speedup as a
+// counter so `--benchmark_counters_tabular` shows the overlap win next to
+// the host wall time.
+void BM_StreamedCompressWrite(benchmark::State& state) {
+  PipelineConfig config;
+  config.codec = "SZ3";
+  config.error_bound = 1e-3;
+  StreamConfig stream;
+  stream.slabs = static_cast<int>(state.range(0));
+  double speedup = 0.0;
+  for (auto _ : state) {
+    PfsSimulator pfs;
+    const auto rec =
+        run_streamed_compress_write(stream_field(), config, pfs, stream);
+    speedup = rec.serial_total_s / rec.streamed_total_s;
+    benchmark::DoNotOptimize(rec.streamed_total_s);
+  }
+  state.counters["overlap_speedup"] = speedup;
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              stream_field().size_bytes()));
+}
+BENCHMARK(BM_StreamedCompressWrite)->Arg(2)->Arg(8)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -171,6 +171,10 @@ std::vector<std::uint8_t> read_lengths_rle(ByteReader& r,
   for (std::uint32_t k = 0; k < nruns; ++k) {
     const auto len = r.read_pod<std::uint8_t>();
     const auto run = r.read_pod<std::uint32_t>();
+    // A corrupt length would index the canonical decode tables (sized
+    // kMaxHuffmanBits + 2) out of bounds.
+    EBLCIO_CHECK_STREAM(len <= kMaxHuffmanBits,
+                        "huffman code length out of range");
     EBLCIO_CHECK_STREAM(lengths.size() + run <= alphabet_size,
                         "huffman length table overflow");
     lengths.insert(lengths.end(), run, len);
@@ -212,6 +216,10 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
   auto lengths = read_lengths_rle(r, alphabet_size);
   const auto payload_size = r.read_pod<std::uint64_t>();
   auto payload = r.read_bytes(payload_size);
+  // Every legitimate symbol costs at least one payload bit; a corrupt
+  // count must not drive a giant allocation below.
+  EBLCIO_CHECK_STREAM(count <= payload.size() * 8,
+                      "huffman symbol count exceeds payload");
 
   // Canonical decode tables: first code and first symbol index per length.
   std::vector<std::uint32_t> order;

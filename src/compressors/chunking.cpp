@@ -1,11 +1,10 @@
 #include "compressors/chunking.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <cstring>
 
 #include "common/error.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 namespace {
@@ -91,12 +90,11 @@ Bytes compress_chunked(const BlobHeader& header, const Field& field,
   std::vector<Bytes> blobs(slabs.size());
   CompressOptions serial_opt = opt;
   serial_opt.threads = 1;
-#pragma omp parallel for num_threads(opt.threads) schedule(dynamic)
-  for (std::size_t i = 0; i < slabs.size(); ++i) {
+  parallel_for(slabs.size(), opt.threads, [&](std::size_t i) {
     BlobHeader slab_header = header;
     slab_header.dims = slabs[i].shape().dims_vector();
     blobs[i] = kernel(slabs[i], slab_header, serial_opt);
-  }
+  });
 
   append_pod<std::uint8_t>(out, kLayoutChunked);
   append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(blobs.size()));
@@ -126,12 +124,12 @@ Field decompress_chunked(std::span<const std::byte> blob, int threads,
     spans[i] = r.read_bytes(sizes[i]);
 
   std::vector<Field> slabs(nchunks);
-#pragma omp parallel for num_threads(std::max(threads, 1)) schedule(dynamic)
-  for (std::uint32_t i = 0; i < nchunks; ++i) {
+  parallel_for(nchunks, std::max(threads, 1), [&](std::size_t i) {
     BlobHeader slab_header = header;
-    slab_header.dims[0] = slab_rows(header.dims[0], nchunks, i);
+    slab_header.dims[0] =
+        slab_rows(header.dims[0], nchunks, static_cast<int>(i));
     slabs[i] = kernel(slab_header, spans[i]);
-  }
+  });
 
   return merge_slabs(slabs, header.dims, header.codec);
 }

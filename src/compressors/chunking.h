@@ -44,9 +44,10 @@ Field merge_slabs(const std::vector<Field>& slabs,
                   const std::vector<std::size_t>& dims,
                   const std::string& name);
 
-// Compresses with slab parallelism: runs `kernel` on each slab in an OpenMP
-// parallel-for with opt.threads threads. Falls back to a single chunk when
-// opt.threads <= 1 or the field cannot be split.
+// Compresses with slab parallelism: runs `kernel` on each slab as tasks on
+// the shared executor (at most opt.threads concurrent slab tasks). Falls
+// back to a single chunk when opt.threads <= 1 or the field cannot be
+// split.
 Bytes compress_chunked(const BlobHeader& header, const Field& field,
                        const CompressOptions& opt,
                        const PayloadCompressFn& kernel);

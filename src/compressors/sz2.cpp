@@ -1,7 +1,5 @@
 #include "compressors/sz2.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <array>
 #include <bit>
@@ -12,6 +10,7 @@
 #include "common/error.h"
 #include "compressors/backend.h"
 #include "compressors/chunking.h"
+#include "parallel/executor.h"
 #include "compressors/quantizer.h"
 
 namespace eblcio {
@@ -379,13 +378,11 @@ Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
   // Stage 1 (parallel over slabs): prediction + quantization.
   const auto slabs = split_slabs(field, std::max(opt.threads, 1));
   std::vector<SlabEncoding> encs(slabs.size());
-#pragma omp parallel for num_threads(std::max(opt.threads, 1)) \
-    schedule(dynamic)
-  for (std::size_t i = 0; i < slabs.size(); ++i) {
+  parallel_for(slabs.size(), std::max(opt.threads, 1), [&](std::size_t i) {
     encs[i] = field.dtype() == DType::kFloat32
                   ? compress_slab<float>(slabs[i], header.abs_error_bound)
                   : compress_slab<double>(slabs[i], header.abs_error_bound);
-  }
+  });
 
   // Stage 2 (serial, as in the reference implementation): one Huffman +
   // lossless pass over the concatenated code stream.
@@ -442,10 +439,10 @@ Field Sz2Compressor::decompress(std::span<const std::byte> blob,
     }
     EBLCIO_CHECK_STREAM(off == codes.size(), "SZ2: code stream size mismatch");
   }
-#pragma omp parallel for num_threads(std::max(threads, 1)) schedule(dynamic)
-  for (std::uint32_t i = 0; i < nslabs; ++i) {
+  parallel_for(nslabs, std::max(threads, 1), [&](std::size_t i) {
     BlobHeader slab_header = header;
-    slab_header.dims[0] = slab_rows(header.dims[0], nslabs, i);
+    slab_header.dims[0] =
+        slab_rows(header.dims[0], nslabs, static_cast<int>(i));
     ByteReader coeffs(metas[i].coeffs);
     ByteReader unpred(metas[i].unpred);
     std::span<const std::uint32_t> slab_codes(
@@ -456,7 +453,7 @@ Field Sz2Compressor::decompress(std::span<const std::byte> blob,
                                      metas[i].mode_bits, coeffs, unpred)
             : decompress_slab<double>(slab_header, slab_codes,
                                       metas[i].mode_bits, coeffs, unpred);
-  }
+  });
   return merge_slabs(slab_fields, header.dims, "SZ2");
 }
 

@@ -1,7 +1,5 @@
 #include "compressors/zfp.h"
 
-#include <omp.h>
-
 #include <algorithm>
 #include <array>
 #include <cmath>
@@ -12,6 +10,7 @@
 #include "codec/bitstream.h"
 #include "codec/intcodec.h"
 #include "common/error.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 namespace {
@@ -338,8 +337,7 @@ Bytes zfp_compress_impl(const Field& field, const BlobHeader& header,
       1, static_cast<int>(std::min<std::size_t>(threads, g.total_blocks)));
   std::vector<Bytes> streams(nchunks);
 
-#pragma omp parallel for num_threads(nchunks) schedule(static)
-  for (int c = 0; c < nchunks; ++c) {
+  parallel_for(nchunks, nchunks, [&](std::size_t c) {
     const std::size_t lo = g.total_blocks * c / nchunks;
     const std::size_t hi = g.total_blocks * (c + 1) / nchunks;
     BitWriter bw;
@@ -349,7 +347,7 @@ Bytes zfp_compress_impl(const Field& field, const BlobHeader& header,
       encode_block(bw, vals, g.d, minexp);
     }
     streams[c] = bw.take();
-  }
+  });
 
   Bytes out;
   append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nchunks));

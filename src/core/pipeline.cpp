@@ -1,8 +1,12 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "common/timer.h"
+#include "compressors/chunking.h"
 #include "compressors/compressor.h"
 #include "io/io_tool.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 
@@ -88,6 +92,175 @@ WriteRecord run_compress_write(const Field& field,
   m.psnr_db = rec.compression.quality.psnr_db;
   rec.verdict = evaluate_tradeoff(m, config.psnr_min_db);
   return rec;
+}
+
+// --- Streaming (chunked) write experiment ---------------------------------
+
+namespace {
+
+// Streamed container framing: the header goes to the PFS before the first
+// slab finishes compressing; each slab is an independent self-describing
+// compressed blob, so the format needs no global size table.
+constexpr std::uint32_t kStreamMagic = 0x45425331;  // "EBS1"
+
+Bytes encode_stream_header(const Field& field, std::size_t nslabs) {
+  Bytes out;
+  append_pod<std::uint32_t>(out, kStreamMagic);
+  append_string(out, field.name());
+  const auto dims = field.shape().dims_vector();
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
+  for (std::size_t d : dims) append_pod<std::uint64_t>(out, d);
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nslabs));
+  return out;
+}
+
+struct ProducedSlab {
+  std::size_t index = 0;
+  Bytes blob;
+};
+
+// Closes the channel on every exit path so neither stage can wedge the
+// other when one of them throws (a blocked push/pop returns once closed).
+template <typename T>
+struct ChannelCloser {
+  BoundedChannel<T>* channel;
+  ~ChannelCloser() { channel->close(); }
+};
+
+}  // namespace
+
+StreamWriteRecord run_streamed_compress_write(const Field& field,
+                                              const PipelineConfig& config,
+                                              PfsSimulator& pfs,
+                                              const StreamConfig& stream) {
+  EBLCIO_CHECK_ARG(stream.slabs >= 1, "stream needs at least one slab");
+  EBLCIO_CHECK_ARG(stream.queue_depth >= 1, "queue depth must be positive");
+  Compressor& comp = compressor(config.codec);
+  const CpuModel& cpu = cpu_model(config.cpu);
+
+  const auto slabs = split_slabs(field, stream.slabs);
+  const std::size_t nslabs = slabs.size();
+
+  CompressOptions opt;
+  opt.mode = BoundMode::kValueRangeRel;
+  opt.error_bound = config.error_bound;
+  opt.threads = config.threads;
+  // The bound must be computed from the whole field's value range, not per
+  // slab, or slab reconstructions would satisfy different bounds.
+  const double abs_bound = absolute_bound_for(field, opt);
+  CompressOptions slab_opt = opt;
+  slab_opt.mode = BoundMode::kAbsolute;
+  slab_opt.error_bound = abs_bound;
+
+  StreamWriteRecord rec;
+  rec.codec = comp.name();
+  rec.path = "/pfs/" + field.name() + ".eblc.stream";
+  rec.slabs = static_cast<int>(nslabs);
+  rec.queue_depth = stream.queue_depth;
+  rec.original_bytes = field.size_bytes();
+  rec.slab_compress_s.resize(nslabs);
+  rec.slab_write_s.resize(nslabs);
+
+  PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
+  BoundedChannel<ProducedSlab> channel(
+      static_cast<std::size_t>(stream.queue_depth));
+
+  WallTimer wall;
+
+  // Producer: compresses slabs in order as one executor task (each slab may
+  // itself fan out onto the pool via opt.threads); blocks on the channel
+  // when queue_depth blobs await the writer.
+  TaskGroup producer;
+  double compress_j = 0.0;
+  producer.run([&] {
+    // The channel must close even when a slab fails to compress, or the
+    // consumer would block in pop() forever and the exception (captured
+    // by the group) would never surface through producer.wait().
+    ChannelCloser<ProducedSlab> closer{&channel};
+    for (std::size_t i = 0; i < nslabs; ++i) {
+      WallTimer t;
+      Bytes blob = comp.compress(slabs[i], slab_opt);
+      const auto reading = monitor.record_compute("stream-compress",
+                                                  t.elapsed_s(),
+                                                  config.threads);
+      rec.slab_compress_s[i] = reading.seconds;
+      compress_j += reading.joules;
+      channel.push({i, std::move(blob)});
+    }
+  });
+
+  // Consumer (this thread): streams the container to the PFS, one append
+  // per slab, while the producer compresses ahead. If it throws, the
+  // closer unblocks the producer so the TaskGroup can unwind.
+  ChannelCloser<ProducedSlab> closer{&channel};
+  auto out = pfs.open_append(rec.path);
+  const auto header_w = out.append(encode_stream_header(field, nslabs));
+  double write_j =
+      monitor.record_io("stream-write-header", header_w.seconds).joules;
+  while (auto produced = channel.pop()) {
+    Bytes framed;
+    append_pod<std::uint64_t>(framed, produced->blob.size());
+    append_bytes(framed, produced->blob);
+    const auto w = out.append(framed);
+    const auto reading = monitor.record_io("stream-write", w.seconds);
+    rec.slab_write_s[produced->index] = reading.seconds;
+    write_j += reading.joules;
+  }
+  producer.wait();
+
+  rec.host_wall_s = wall.elapsed_s();
+  rec.compressed_bytes = out.bytes_written();
+  rec.compress_j = compress_j;
+  rec.write_j = write_j;
+
+  // Pipeline recurrence: the producer finishes slab i after finishing
+  // slab i-1 and after a channel slot frees. A slot frees when the writer
+  // *pops* slab i-1-depth — i.e. when it finishes the write before it
+  // (effective buffering is queue_depth + the slab in the writer's
+  // hands). The writer starts slab i when both it and the slab are ready.
+  const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
+  std::vector<double> fc(nslabs, 0.0), fw(nslabs, 0.0);
+  double serial_compress = 0.0;
+  for (std::size_t i = 0; i < nslabs; ++i) {
+    double start = i > 0 ? fc[i - 1] : 0.0;
+    if (i >= depth + 2) start = std::max(start, fw[i - 2 - depth]);
+    else if (i == depth + 1) start = std::max(start, header_w.seconds);
+    fc[i] = start + rec.slab_compress_s[i];
+    const double writer_free = i > 0 ? fw[i - 1] : header_w.seconds;
+    fw[i] = std::max(fc[i], writer_free) + rec.slab_write_s[i];
+    serial_compress += rec.slab_compress_s[i];
+  }
+  rec.streamed_total_s = fw[nslabs - 1];
+  rec.serial_total_s =
+      serial_compress + pfs.transfer_seconds(rec.compressed_bytes, 1);
+  return rec;
+}
+
+Field read_streamed_field(PfsSimulator& pfs, const std::string& path,
+                          int threads) {
+  const Bytes data = pfs.read_file(path);
+  ByteReader r(data);
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kStreamMagic,
+                      "not a streamed container");
+  const std::string name = r.read_string();
+  const auto ndims = r.read_pod<std::uint32_t>();
+  std::vector<std::size_t> dims(ndims);
+  for (auto& d : dims)
+    d = static_cast<std::size_t>(r.read_pod<std::uint64_t>());
+  const auto nslabs = r.read_pod<std::uint32_t>();
+  EBLCIO_CHECK_STREAM(nslabs >= 1, "streamed container holds no slabs");
+
+  std::vector<std::span<const std::byte>> blobs(nslabs);
+  for (auto& b : blobs) {
+    const auto size = r.read_pod<std::uint64_t>();
+    b = r.read_bytes(size);
+  }
+
+  std::vector<Field> slab_fields(nslabs);
+  parallel_for(nslabs, std::max(threads, 1), [&](std::size_t i) {
+    slab_fields[i] = decompress_any(blobs[i], 1);
+  });
+  return merge_slabs(slab_fields, dims, name);
 }
 
 }  // namespace eblcio

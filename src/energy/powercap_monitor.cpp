@@ -18,6 +18,7 @@ EnergyReading PowercapMonitor::integrate(const std::string& label,
   // plus the final partial step. The slight quantization is intentional —
   // it is what the instrument in the paper sees.
   EnergyReading reading;
+  std::lock_guard<std::mutex> lock(mu_);
   const double before = rapl_.total_joules();
   double remaining = seconds;
   int samples = 0;
@@ -53,7 +54,13 @@ EnergyReading PowercapMonitor::record_raw(const std::string& label,
   return integrate(label, seconds, watts);
 }
 
+std::vector<PhaseEnergy> PowercapMonitor::phases() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return phases_;
+}
+
 EnergyReading PowercapMonitor::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
   EnergyReading t;
   for (const auto& p : phases_) {
     t.seconds += p.reading.seconds;
@@ -64,6 +71,7 @@ EnergyReading PowercapMonitor::total() const {
 }
 
 void PowercapMonitor::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   phases_.clear();
   rapl_ = RaplSimulator();
 }

@@ -8,6 +8,7 @@
 // RaplSimulator with discrete sampling — E = Σ P(tᵢ)Δt.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,9 @@ struct PhaseEnergy {
   EnergyReading reading;
 };
 
+// Thread-safe: concurrent record_* calls (e.g. the streaming pipeline's
+// compress tasks and its PFS writer, or simmpi ranks sharing a monitor)
+// serialize on an internal mutex, so per-phase joules accumulate exactly.
 class PowercapMonitor {
  public:
   explicit PowercapMonitor(const CpuModel& cpu, double sample_dt_s = 0.01);
@@ -50,9 +54,10 @@ class PowercapMonitor {
   EnergyReading record_raw(const std::string& label, double seconds,
                            double watts);
 
-  const std::vector<PhaseEnergy>& phases() const { return phases_; }
+  // Snapshot of the recorded phases. (Returned by value so callers never
+  // iterate a vector another thread is appending to.)
+  std::vector<PhaseEnergy> phases() const;
   EnergyReading total() const;
-  const RaplSimulator& rapl() const { return rapl_; }
   void reset();
 
  private:
@@ -61,6 +66,7 @@ class PowercapMonitor {
 
   const CpuModel* cpu_;
   double sample_dt_s_;
+  mutable std::mutex mu_;
   RaplSimulator rapl_;
   std::vector<PhaseEnergy> phases_;
 };

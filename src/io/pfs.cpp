@@ -61,6 +61,66 @@ PfsSimulator::WriteResult PfsSimulator::write_file(
   return r;
 }
 
+PfsSimulator::WriteResult PfsSimulator::append_file(
+    const std::string& path, std::span<const std::byte> data,
+    int concurrent_clients) {
+  auto it = files_.find(path);
+  const bool creating = it == files_.end();
+  if (creating) {
+    StoredFile f;
+    f.stripe_count = config_.stripe_count;
+    f.stripe_size = config_.stripe_size;
+    f.first_ost = next_ost_;
+    next_ost_ = (next_ost_ + config_.stripe_count) % config_.num_osts;
+    it = files_.emplace(path, std::move(f)).first;
+  }
+  StoredFile& f = it->second;
+
+  // Fill the trailing partial stripe first, then allocate new units.
+  std::size_t stripes_touched = 0;
+  std::size_t off = 0;
+  if (!f.stripes.empty() && f.stripes.back().size() < f.stripe_size) {
+    Bytes& tail = f.stripes.back();
+    const std::size_t take =
+        std::min(f.stripe_size - tail.size(), data.size());
+    tail.insert(tail.end(), data.begin(), data.begin() + take);
+    off += take;
+    ++stripes_touched;
+  }
+  while (off < data.size()) {
+    const std::size_t len = std::min(f.stripe_size, data.size() - off);
+    f.stripes.emplace_back(data.begin() + off, data.begin() + off + len);
+    off += len;
+    ++stripes_touched;
+  }
+  f.size += data.size();
+
+  const int clients = std::max(concurrent_clients, 1);
+  const double bw = effective_bandwidth(clients);
+  WriteResult r;
+  r.bytes = data.size();
+  r.effective_bw_bps = bw;
+  r.seconds = static_cast<double>(stripes_touched) * config_.rpc_latency_s +
+              static_cast<double>(data.size()) / bw;
+  if (creating)
+    r.seconds += config_.open_latency_s +
+                 config_.mds_service_s * static_cast<double>(clients);
+  return r;
+}
+
+PfsSimulator::AppendStream PfsSimulator::open_append(const std::string& path) {
+  remove(path);  // truncate: streams always start a fresh container
+  return AppendStream(this, path);
+}
+
+PfsSimulator::WriteResult PfsSimulator::AppendStream::append(
+    std::span<const std::byte> data, int concurrent_clients) {
+  WriteResult r = pfs_->append_file(path_, data, concurrent_clients);
+  bytes_ += r.bytes;
+  seconds_ += r.seconds;
+  return r;
+}
+
 PfsSimulator::WriteResult PfsSimulator::read_cost(
     const std::string& path, int concurrent_clients) const {
   auto it = files_.find(path);

@@ -53,6 +53,40 @@ class PfsSimulator {
                          std::span<const std::byte> data,
                          int concurrent_clients = 1);
 
+  // Appends `data` to `path`, creating the file when absent. Partial
+  // trailing stripes are filled before new stripe units are allocated, so
+  // containers can be written incrementally (the streaming compress→write
+  // pipeline appends one compressed slab at a time). The open/metadata
+  // latency is charged only when the file is created; every append pays
+  // per-touched-stripe RPCs plus transfer time.
+  WriteResult append_file(const std::string& path,
+                          std::span<const std::byte> data,
+                          int concurrent_clients = 1);
+
+  // Stateful incremental writer over append_file: remembers whether the
+  // open cost has been paid and accumulates bytes/seconds across appends.
+  class AppendStream {
+   public:
+    WriteResult append(std::span<const std::byte> data,
+                       int concurrent_clients = 1);
+    const std::string& path() const { return path_; }
+    std::size_t bytes_written() const { return bytes_; }
+    double seconds_total() const { return seconds_; }
+
+   private:
+    friend class PfsSimulator;
+    AppendStream(PfsSimulator* pfs, std::string path)
+        : pfs_(pfs), path_(std::move(path)) {}
+
+    PfsSimulator* pfs_;
+    std::string path_;
+    std::size_t bytes_ = 0;
+    double seconds_ = 0.0;
+  };
+
+  // Opens (creating or truncating) `path` for incremental writes.
+  AppendStream open_append(const std::string& path);
+
   // Time to read a file back under the same contention model.
   WriteResult read_cost(const std::string& path,
                         int concurrent_clients = 1) const;

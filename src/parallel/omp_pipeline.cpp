@@ -3,6 +3,7 @@
 #include "common/timer.h"
 #include "compressors/compressor.h"
 #include "metrics/error_stats.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 
@@ -18,6 +19,8 @@ OmpRunResult run_omp_pipeline(const std::string& codec, const Field& field,
   r.threads = threads;
   r.original_bytes = field.size_bytes();
 
+  const ExecutorStats before = Executor::global().stats();
+
   Bytes blob;
   r.compress_seconds = timed_s([&] { blob = comp.compress(field, opt); });
   r.compressed_bytes = blob.size();
@@ -28,8 +31,25 @@ OmpRunResult run_omp_pipeline(const std::string& codec, const Field& field,
   r.decompress_seconds =
       timed_s([&] { recon = comp.decompress(blob, decomp_threads); });
 
+  const ExecutorStats after = Executor::global().stats();
+  r.tasks_dispatched = after.tasks_completed - before.tasks_completed;
+  r.task_seconds = after.task_seconds - before.task_seconds;
+
   if (verify) r.bound_ok = check_value_range_bound(field, recon, eb_rel);
   return r;
+}
+
+std::vector<OmpRunResult> run_thread_sweep(const std::string& codec,
+                                           const Field& field, double eb_rel,
+                                           const std::vector<int>& threads,
+                                           bool verify) {
+  const std::vector<int>& sweep =
+      threads.empty() ? paper_thread_sweep() : threads;
+  std::vector<OmpRunResult> results;
+  results.reserve(sweep.size());
+  for (int t : sweep)
+    results.push_back(run_omp_pipeline(codec, field, eb_rel, t, verify));
+  return results;
 }
 
 const std::vector<int>& paper_thread_sweep() {

@@ -1,12 +1,23 @@
-// Strong-scaling driver for OpenMP compressor modes (paper Sec. IV-C:
+// Strong-scaling driver for parallel compressor modes (paper Sec. IV-C:
 // threads 1..64 in powers of two, fixed problem size).
+//
+// Naming note: "omp" here is the *paper's* terminology — Fig. 10 measures
+// the codecs' "OpenMP modes" — kept so benches/tests map to figures. The
+// implementation has no OpenMP: since the executor refactor, parallelism
+// is slab tasks on the shared pool (see parallel/executor.h and
+// parallel/README.md for the thread-count semantics).
 //
 // Runs the *real* parallel compress/decompress paths and reports measured
 // wall times plus the blob size; the energy layer turns these into the
-// Fig. 10 stacked bars.
+// Fig. 10 stacked bars. All parallelism rides the shared executor
+// (parallel/executor.h): a whole thread sweep reuses one warm pool instead
+// of re-spawning OpenMP teams per cell, and each result carries the
+// executor task accounting for its cell.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/field.h"
 
@@ -19,6 +30,9 @@ struct OmpRunResult {
   std::size_t compressed_bytes = 0;
   std::size_t original_bytes = 0;
   bool bound_ok = true;  // reconstruction verified against the bound
+  // Executor accounting for this cell (deltas over the shared pool).
+  std::uint64_t tasks_dispatched = 0;
+  double task_seconds = 0.0;
   double ratio() const {
     return compressed_bytes
                ? static_cast<double>(original_bytes) / compressed_bytes
@@ -27,10 +41,17 @@ struct OmpRunResult {
 };
 
 // Compresses and decompresses `field` with `codec` at the value-range
-// relative bound `eb_rel` using `threads` threads (1 = serial mode).
-// When `verify` is set the reconstruction is checked against the bound.
+// relative bound `eb_rel` using `threads` slab tasks on the shared
+// executor (1 = serial mode). When `verify` is set the reconstruction is
+// checked against the bound.
 OmpRunResult run_omp_pipeline(const std::string& codec, const Field& field,
                               double eb_rel, int threads, bool verify = false);
+
+// Runs the whole strong-scaling sweep on the one shared pool, one result
+// per entry of `threads` (defaults to paper_thread_sweep()).
+std::vector<OmpRunResult> run_thread_sweep(
+    const std::string& codec, const Field& field, double eb_rel,
+    const std::vector<int>& threads = {}, bool verify = false);
 
 // The paper's thread sweep: 1, 2, 4, ..., 64.
 const std::vector<int>& paper_thread_sweep();

@@ -3,9 +3,9 @@
 #include <algorithm>
 #include <cstring>
 #include <exception>
-#include <thread>
 
 #include "common/error.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 namespace {
@@ -180,22 +180,21 @@ void SimMpiWorld::run(int nranks, const RankFn& fn) {
   EBLCIO_CHECK_ARG(nranks >= 1, "need at least one rank");
   SimMpiWorld world(nranks);
 
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(nranks);
-  threads.reserve(nranks);
+  // Rank bodies run as tasks on the shared executor. Each declares a
+  // BlockingScope for its whole lifetime: ranks block in recv()/collectives
+  // waiting on peers, so every *started* rank lends the pool a replacement
+  // worker — that guarantees all nranks bodies eventually run concurrently
+  // (the same liveness property the previous thread-per-rank code had)
+  // while idle replacement workers retire once the world completes.
+  TaskGroup group(Executor::global());
   for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&world, &fn, &errors, r] {
+    group.run([&world, &fn, r] {
+      Executor::BlockingScope scope;
       Communicator comm(&world, r);
-      try {
-        fn(comm);
-      } catch (...) {
-        errors[r] = std::current_exception();
-      }
+      fn(comm);
     });
   }
-  for (auto& t : threads) t.join();
-  for (const auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  group.wait();  // rethrows the first rank exception
 }
 
 }  // namespace eblcio

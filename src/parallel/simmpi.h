@@ -2,9 +2,10 @@
 //
 // The paper's multi-node experiment (Sec. IV-E, Fig. 12) runs N nodes x R
 // ranks, each compressing a copy of the data set and writing it to the PFS.
-// We reproduce the programming model: ranks execute concurrently (as
-// threads), communicate via typed point-to-point messages, and synchronize
-// through collectives. Each rank additionally carries a simulated clock so
+// We reproduce the programming model: ranks execute concurrently (as tasks
+// on the shared executor, each holding a BlockingScope so blocking in recv
+// never starves the pool), communicate via typed point-to-point messages,
+// and synchronize through collectives. Each rank additionally carries a simulated clock so
 // experiments can account platform time for modeled phases (compute dilated
 // onto a CpuModel, PFS transfer times); collectives synchronize clocks to
 // the maximum, exactly how barrier time behaves on a real machine.
@@ -61,9 +62,9 @@ class Communicator {
   double sim_time_s_ = 0.0;
 };
 
-// Launches `nranks` rank functions on real threads and joins them.
-// Exceptions thrown by rank functions are collected and rethrown (first
-// one) after all ranks finish or abort.
+// Launches `nranks` rank functions as executor tasks and awaits them.
+// The first exception thrown by a rank function is rethrown after all
+// ranks finish or abort.
 class SimMpiWorld {
  public:
   using RankFn = std::function<void(Communicator&)>;

@@ -6,6 +6,7 @@
 #include "energy/cpu_model.h"
 #include "energy/powercap_monitor.h"
 #include "energy/rapl_sim.h"
+#include "parallel/executor.h"
 
 namespace eblcio {
 namespace {
@@ -151,6 +152,42 @@ TEST(Dvfs, EnergyOptimalFrequencyIsInterior) {
   EXPECT_LT(best_f, 1.55);
   EXPECT_LT(best_e, cpu.compute_energy_j(t_nominal, cores, 0.4));
   EXPECT_LT(best_e, cpu.compute_energy_j(t_nominal, cores, 1.6));
+}
+
+TEST(Monitor, ConcurrentChargesAccumulateExactly) {
+  // Regression: the streaming pipeline and simmpi ranks charge one monitor
+  // from concurrent tasks. Every phase must land and the joules must equal
+  // the serial sum — lost updates would silently shrink Fig. 11/12 energy.
+  const auto& cpu = cpu_model("9480");
+  PowercapMonitor expected(cpu);
+  for (int i = 0; i < 8; ++i) expected.record_compute("phase", 0.13, 2);
+
+  PowercapMonitor mon(cpu);
+  TaskGroup group;
+  for (int i = 0; i < 8; ++i)
+    group.run([&] { mon.record_compute("phase", 0.13, 2); });
+  group.wait();
+
+  EXPECT_EQ(mon.phases().size(), 8u);
+  EXPECT_NEAR(mon.total().joules, expected.total().joules, 1e-9);
+  EXPECT_NEAR(mon.total().seconds, expected.total().seconds, 1e-12);
+  EXPECT_EQ(mon.total().samples, expected.total().samples);
+}
+
+TEST(Monitor, ConcurrentMixedPhasesAllLand) {
+  const auto& cpu = cpu_model("8160");
+  PowercapMonitor mon(cpu);
+  TaskGroup group;
+  for (int i = 0; i < 4; ++i) {
+    group.run([&] { mon.record_compute("c", 0.05, 4); });
+    group.run([&] { mon.record_io("w", 0.05); });
+  }
+  group.wait();
+  EXPECT_EQ(mon.phases().size(), 8u);
+  const double expect =
+      4 * cpu.node_power_w(4) * 0.05 / cpu.speed_factor +
+      4 * cpu.io_power_w() * 0.05;
+  EXPECT_NEAR(mon.total().joules, expect, expect * 0.02);
 }
 
 TEST(Monitor, ResetClearsState) {

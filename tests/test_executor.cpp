@@ -1,0 +1,189 @@
+// Shared executor tests: stress, nesting, exception propagation, blocking
+// scopes, backpressure, channels, and accounting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "parallel/executor.h"
+
+namespace eblcio {
+namespace {
+
+TEST(Executor, StressThousandTasks) {
+  std::atomic<int> count{0};
+  std::atomic<long long> sum{0};
+  TaskGroup group;
+  for (int i = 0; i < 1000; ++i)
+    group.run([&, i] {
+      count.fetch_add(1);
+      sum.fetch_add(i);
+    });
+  group.wait();
+  EXPECT_EQ(count.load(), 1000);
+  EXPECT_EQ(sum.load(), 999LL * 1000 / 2);
+}
+
+TEST(Executor, NestedGroupsFromPoolTasks) {
+  // Each outer task spawns and awaits its own inner group — the shape the
+  // chunked codecs produce when a streamed slab fans out again. Waiting
+  // tasks help execute, so this must not deadlock even on a 1-worker pool.
+  Executor ex(1);
+  std::atomic<int> inner_runs{0};
+  TaskGroup outer(ex);
+  for (int i = 0; i < 8; ++i)
+    outer.run([&] {
+      TaskGroup inner(ex);
+      for (int j = 0; j < 16; ++j) inner.run([&] { inner_runs.fetch_add(1); });
+      inner.wait();
+    });
+  outer.wait();
+  EXPECT_EQ(inner_runs.load(), 8 * 16);
+}
+
+TEST(Executor, ExceptionPropagatesToWaiter) {
+  TaskGroup group;
+  for (int i = 0; i < 32; ++i)
+    group.run([i] {
+      if (i == 17) throw InvalidArgument("boom");
+    });
+  EXPECT_THROW(group.wait(), InvalidArgument);
+}
+
+TEST(Executor, ExceptionFromNestedGroupPropagates) {
+  TaskGroup outer;
+  outer.run([] {
+    TaskGroup inner;
+    inner.run([] { throw CorruptStream("inner boom"); });
+    inner.wait();  // rethrows inside the outer task
+  });
+  EXPECT_THROW(outer.wait(), CorruptStream);
+}
+
+TEST(Executor, GroupReusableAfterException) {
+  TaskGroup group;
+  group.run([] { throw Error("first"); });
+  EXPECT_THROW(group.wait(), Error);
+  std::atomic<int> ran{0};
+  group.run([&] { ran.fetch_add(1); });
+  group.wait();  // error was consumed; second wave is clean
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(Executor, ParallelForCoversRange) {
+  std::vector<int> hits(777, 0);
+  parallel_for(hits.size(), 8, [&](std::size_t i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 777);
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(Executor, ParallelForZeroAndOne) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, 4, [&](std::size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);  // runs inline
+}
+
+TEST(Executor, BackpressureBoundsInjectionQueue) {
+  // Tiny queue: submissions must block-and-drain rather than grow
+  // unboundedly, and every task still runs exactly once.
+  Executor ex(2, /*queue_capacity=*/4);
+  std::atomic<int> count{0};
+  TaskGroup group(ex);
+  for (int i = 0; i < 200; ++i)
+    group.run([&] {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      count.fetch_add(1);
+    });
+  group.wait();
+  EXPECT_EQ(count.load(), 200);
+  EXPECT_GT(ex.stats().submit_waits, 0u);
+}
+
+TEST(Executor, BlockingScopeLendsReplacementWorker) {
+  // One worker; task A blocks until task B runs. Without BlockingScope the
+  // single worker would sit in A forever and B would never start.
+  Executor ex(1);
+  BoundedChannel<int> ch(1);
+  TaskGroup group(ex);
+  int received = 0;
+  group.run([&] {
+    Executor::BlockingScope scope;
+    received = ch.pop().value_or(-1);
+  });
+  group.run([&] { ch.push(42); });
+  group.wait();
+  EXPECT_EQ(received, 42);
+}
+
+TEST(Executor, ChannelDeliversInOrderAndCloses) {
+  BoundedChannel<int> ch(2);
+  std::vector<int> got;
+  TaskGroup group;
+  group.run([&] {
+    for (int i = 0; i < 50; ++i) ch.push(i);
+    ch.close();
+  });
+  while (auto v = ch.pop()) got.push_back(*v);
+  group.wait();
+  ASSERT_EQ(got.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(Executor, PopAfterCloseDrainsThenEnds) {
+  BoundedChannel<int> ch(4);
+  ch.push(1);
+  ch.push(2);
+  ch.close();
+  EXPECT_EQ(ch.pop().value_or(-1), 1);
+  EXPECT_EQ(ch.pop().value_or(-1), 2);
+  EXPECT_FALSE(ch.pop().has_value());
+}
+
+TEST(Executor, StatsAccountTaskTime) {
+  Executor ex(2);
+  const auto before = ex.stats();
+  TaskGroup group(ex);
+  for (int i = 0; i < 10; ++i)
+    group.run([] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  group.wait();
+  const auto after = ex.stats();
+  EXPECT_EQ(after.tasks_completed - before.tasks_completed, 10u);
+  EXPECT_GE(after.task_seconds - before.task_seconds, 0.008);
+  EXPECT_GE(after.workers, 2);
+}
+
+TEST(Executor, ManyBlockingTasksAllProgress) {
+  // A chain: task i waits for token i then passes token i+1 — forces every
+  // task to be live at once, far beyond the base worker count.
+  Executor ex(2);
+  const int n = 32;
+  std::vector<std::unique_ptr<BoundedChannel<int>>> links;
+  for (int i = 0; i <= n; ++i)
+    links.push_back(std::make_unique<BoundedChannel<int>>(1));
+  TaskGroup group(ex);
+  for (int i = 0; i < n; ++i)
+    group.run([&, i] {
+      Executor::BlockingScope scope;
+      const auto v = links[i]->pop();
+      links[i + 1]->push(v.value_or(0) + 1);
+    });
+  links[0]->push(0);
+  group.wait();
+  EXPECT_EQ(links[n]->pop().value_or(-1), n);
+}
+
+TEST(Executor, RejectsZeroCapacity) {
+  EXPECT_THROW(Executor(1, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace eblcio

@@ -37,6 +37,20 @@ INSTANTIATE_TEST_SUITE_P(AllEblcs, OmpCodecs,
                          ::testing::Values("SZ2", "SZ3", "ZFP", "QoZ",
                                            "SZx"));
 
+TEST(OmpPipeline, ThreadSweepReusesSharedPoolAndAccounts) {
+  const Field f = smooth_field_3d(24);
+  const auto results = run_thread_sweep("SZx", f, 1e-3, {1, 2, 4});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].threads, 1);
+  EXPECT_EQ(results[2].threads, 4);
+  // Parallel cells dispatch slab tasks onto the shared executor and the
+  // per-cell accounting captures them; serial cells dispatch none.
+  EXPECT_EQ(results[0].tasks_dispatched, 0u);
+  EXPECT_GT(results[2].tasks_dispatched, 0u);
+  EXPECT_GT(results[2].task_seconds, 0.0);
+  for (const auto& r : results) EXPECT_GT(r.ratio(), 1.0);
+}
+
 TEST(OmpPipeline, ReportsSizes) {
   const Field f = smooth_field_3d(32);
   const auto r = run_omp_pipeline("SZx", f, 1e-3, 4);

@@ -6,7 +6,9 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "compressors/compressor.h"
 #include "parallel/simmpi.h"
+#include "test_util.h"
 
 namespace eblcio {
 namespace {
@@ -123,6 +125,26 @@ TEST(SimMpi, ManyRanksScale) {
     count.fetch_add(1);
   });
   EXPECT_EQ(count.load(), 64);
+}
+
+TEST(SimMpi, RanksMayFanOutOnExecutor) {
+  // Regression: a rank that fans slab tasks onto the shared pool
+  // (threads > 1) and then joins a collective must not deadlock. Helping
+  // waiters only run tasks of their own group, so a rank's parallel_for
+  // can never pull a peer's rank body onto its stack and strand a
+  // collective.
+  const Field f = test::smooth_field_3d(32);
+  std::atomic<int> done{0};
+  SimMpiWorld::run(4, [&](Communicator& comm) {
+    CompressOptions opt;
+    opt.error_bound = 1e-3;
+    opt.threads = 4;
+    const Bytes blob = compressor("SZx").compress(f, opt);
+    const double total = comm.allreduce_sum(static_cast<double>(blob.size()));
+    EXPECT_GT(total, 0.0);
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 4);
 }
 
 TEST(SimMpi, RankExceptionPropagates) {
