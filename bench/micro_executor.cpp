@@ -4,9 +4,12 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "core/pipeline.h"
+#include "core/sweep.h"
 #include "data/dataset.h"
 #include "io/pfs.h"
 #include "parallel/executor.h"
@@ -73,6 +76,60 @@ void BM_ChannelHandoff(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ChannelHandoff);
+
+// Steal-path pressure — the datapoint for randomized victim selection.
+// One pool task floods its own deque with tiny subtasks, so every other
+// worker must steal everything it runs; before the randomized starting
+// slot, all thieves serialized on the lowest-numbered victim's deque lock.
+// Reported counter: steals per iteration actually taken from peer deques.
+void BM_StealChurn(benchmark::State& state) {
+  Executor ex(4);
+  const int n = 4096;
+  const auto before = ex.stats();
+  for (auto _ : state) {
+    std::atomic<int> count{0};
+    TaskGroup outer(ex);
+    outer.run([&] {
+      TaskGroup inner(ex);
+      for (int i = 0; i < n; ++i) inner.run([&] { count.fetch_add(1); });
+      inner.wait();
+    });
+    outer.wait();
+    benchmark::DoNotOptimize(count.load());
+  }
+  const auto after = ex.stats();
+  state.counters["steals_per_iter"] = benchmark::Counter(
+      static_cast<double>(after.steals - before.steals) /
+      static_cast<double>(std::max<std::int64_t>(state.iterations(), 1)));
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StealChurn);
+
+// The sweep engine over a 25-cell grid (the advisor's codec×bound shape):
+// Arg(0) = serial reference path, Arg(1) = batched on the executor. The
+// cells sleep rather than spin so the overlap win is visible even on
+// heavily shared CI hosts.
+void BM_SweepGrid25(benchmark::State& state) {
+  const bool parallel = state.range(0) != 0;
+  Executor ex(8);
+  SweepOptions options;
+  options.parallel = parallel;
+  options.executor = &ex;
+  std::vector<int> cells(25);
+  std::iota(cells.begin(), cells.end(), 0);
+  for (auto _ : state) {
+    auto report = sweep_grid(
+        cells,
+        [](const int& cell, SweepCellContext&) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          return cell * cell;
+        },
+        options);
+    benchmark::DoNotOptimize(report.cells.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 25);
+}
+BENCHMARK(BM_SweepGrid25)->Arg(0)->Arg(1);
 
 const Field& stream_field() {
   static const Field f = generate_dataset_dims("NYX", {64, 64, 64}, 7);

@@ -3,7 +3,13 @@
 // on a sample of your data set under a quality floor and rank the
 // candidates for each optimization objective.
 //
+// The codec×bound trials execute as a grid sweep on the shared executor
+// (core/sweep.h); completed trials stream as progress lines in
+// deterministic domain order while the grid is still running.
+//
 //   ./examples/compressor_tuner [--dataset=NYX] [--psnr=60]
+//                               [--parallel-sweep=1] [--reps=1]
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 
@@ -32,6 +38,8 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const std::string dataset = args.get("dataset", "NYX");
   const double psnr_floor = args.get_double("psnr", 60.0);
+  const bool parallel = args.get_bool("parallel-sweep", true);
+  const int reps = args.get_int("reps", 1);
 
   const DatasetSpec& spec = dataset_spec(dataset);
   const Field field = generate_dataset_dims(
@@ -45,9 +53,25 @@ int main(int argc, char** argv) {
     AdvisorConstraints cons;
     cons.psnr_min_db = psnr_floor;
     cons.objective = obj;
-    const AdvisorReport report = advise_compression(field, cons);
+    cons.parallel = parallel;
+    if (reps > 1) {
+      RepeatConfig repeat;
+      repeat.min_runs = std::min(3, reps);  // protocol needs >= 2 runs
+      repeat.max_runs = reps;
+      cons.repeat = repeat;
+    }
+    std::printf("--- objective: %s (%s sweep) ---\n", objective_name(obj),
+                parallel ? "parallel" : "serial");
+    const AdvisorReport report = advise_compression(
+        field, cons,
+        [](const AdvisorCandidate& c, std::size_t done, std::size_t total) {
+          std::printf("  [%2zu/%zu] %-4s @ %-6s ratio %6.1fx  PSNR %6.1f dB\n",
+                      done, total, c.codec.c_str(),
+                      fmt_error_bound(c.error_bound).c_str(), c.ratio,
+                      c.psnr_db);
+          std::fflush(stdout);
+        });
 
-    std::printf("--- objective: %s ---\n", objective_name(obj));
     TextTable t({"rank", "codec", "bound", "ratio", "PSNR (dB)",
                  "sample energy (J)", "feasible"});
     int rank = 1;

@@ -2,12 +2,26 @@
 // discussion (Sec. VII) turned into an API. Given a field, a quality floor
 // and an optimization objective, it trials the EBLC suite on a sampled
 // sub-region and recommends compressor + error bound.
+//
+// Reentrancy / thread-safety (audited): advise_compression may be called
+// concurrently from any threads, and its internal codec×bound trials run
+// as concurrent sweep cells by default. This is safe because every trial
+// owns its state: the sampled sub-region is built once and then only read,
+// codec singletons from compressors/compressor.h are stateless across
+// calls, each cell constructs its own PowercapMonitor (itself lock-
+// protected), and scores/sorting happen after the sweep on the caller's
+// thread. Candidate order in the report is deterministic: cells are
+// collected in domain (codec-major, bound-minor) order and stable-sorted
+// by score, so equal-score ties never depend on execution interleaving.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/field.h"
+#include "core/experiment.h"
 
 namespace eblcio {
 
@@ -23,6 +37,15 @@ struct AdvisorConstraints {
   std::vector<double> error_bounds = {1e-1, 1e-2, 1e-3, 1e-4, 1e-5};
   std::vector<std::string> codecs;     // empty = all five EBLCs
   std::string cpu = "9480";
+  // Sweep execution: trials fan out as cells on the shared executor by
+  // default; parallel = false runs them in order on the calling thread
+  // (identical results — cells are independent and deterministic apart
+  // from measured kernel time).
+  bool parallel = true;
+  int max_concurrent_trials = 0;  // <= 0: one executor task per trial
+  // When set, each trial's compression is timed under the Sec. IV-C
+  // repetition protocol and the mean kernel time feeds the energy model.
+  std::optional<RepeatConfig> repeat;
 };
 
 struct AdvisorCandidate {
@@ -41,9 +64,17 @@ struct AdvisorReport {
   AdvisorCandidate recommendation;
 };
 
+// Streaming hook: called once per evaluated (codec, bound) trial, in
+// domain order, with running progress — incremental tables hang off this.
+// `done`/`total` count trials, including ones a codec rejected.
+using AdvisorProgressFn = std::function<void(
+    const AdvisorCandidate& candidate, std::size_t done, std::size_t total)>;
+
 // Trials every (codec, bound) pair on a centered sample of `field` (fast)
-// and ranks them under the constraints.
+// and ranks them under the constraints. Trials execute as a grid sweep on
+// the shared executor (see core/sweep.h and constraints.parallel).
 AdvisorReport advise_compression(const Field& field,
-                                 const AdvisorConstraints& constraints);
+                                 const AdvisorConstraints& constraints,
+                                 const AdvisorProgressFn& on_trial = nullptr);
 
 }  // namespace eblcio

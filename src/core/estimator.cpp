@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <exception>
 #include <map>
 #include <vector>
 
 #include "common/error.h"
+#include "core/sweep.h"
 
 namespace eblcio {
 namespace {
@@ -159,37 +161,95 @@ double zfp_bits_per_value(const std::vector<double>& sample, double abs_eb,
 
 }  // namespace
 
-RatioEstimate estimate_ratio(const Field& field, const std::string& codec,
-                             double eb_rel, std::size_t max_sample) {
-  EBLCIO_CHECK_ARG(eb_rel > 0.0, "estimator needs a positive bound");
-  const auto range = field.value_range();
-  const double abs_eb = eb_rel * range.span();
-  const int raw_bits = static_cast<int>(dtype_size(field.dtype())) * 8;
+RatioSample RatioSample::take(const Field& field, std::size_t max_sample) {
+  RatioSample s;
+  s.value_span = field.value_range().span();
+  s.raw_bits = static_cast<int>(dtype_size(field.dtype())) * 8;
+  s.ndims = field.ndims();
+  s.values = field.dtype() == DType::kFloat32
+                 ? sample_rows(field.as<float>(), max_sample, &s.row_len)
+                 : sample_rows(field.as<double>(), max_sample, &s.row_len);
+  return s;
+}
 
-  std::size_t row_len = 1;
-  std::vector<double> sample =
-      field.dtype() == DType::kFloat32
-          ? sample_rows(field.as<float>(), max_sample, &row_len)
-          : sample_rows(field.as<double>(), max_sample, &row_len);
+RatioEstimate estimate_ratio(const RatioSample& sample,
+                             const std::string& codec, double eb_rel) {
+  EBLCIO_CHECK_ARG(eb_rel > 0.0, "estimator needs a positive bound");
+  const double abs_eb = eb_rel * sample.value_span;
 
   const std::string key = lower(codec);
   double bits;
   if (key == "szx") {
-    bits = szx_bits_per_value(sample, abs_eb, raw_bits);
+    bits = szx_bits_per_value(sample.values, abs_eb, sample.raw_bits);
   } else if (key == "zfp") {
-    bits = zfp_bits_per_value(sample, abs_eb, field.ndims());
+    bits = zfp_bits_per_value(sample.values, abs_eb, sample.ndims);
   } else if (key == "sz2" || key == "sz3" || key == "qoz") {
-    bits = sz_bits_per_value(sample, row_len, abs_eb);
+    bits = sz_bits_per_value(sample.values, sample.row_len, abs_eb);
   } else {
     throw InvalidArgument("no ratio model for codec: " + codec);
   }
-  bits = std::clamp(bits, 0.05, static_cast<double>(raw_bits));
+  bits = std::clamp(bits, 0.05, static_cast<double>(sample.raw_bits));
 
   RatioEstimate est;
   est.bits_per_value = bits;
-  est.predicted_ratio = static_cast<double>(raw_bits) / bits;
-  est.sampled_values = sample.size();
+  est.predicted_ratio = static_cast<double>(sample.raw_bits) / bits;
+  est.sampled_values = sample.values.size();
   return est;
+}
+
+RatioEstimate estimate_ratio(const Field& field, const std::string& codec,
+                             double eb_rel, std::size_t max_sample) {
+  return estimate_ratio(RatioSample::take(field, max_sample), codec, eb_rel);
+}
+
+std::vector<RatioGridEntry> estimate_ratio_grid(
+    const Field& field, const std::vector<std::string>& codecs,
+    const std::vector<double>& bounds, std::size_t max_sample,
+    const SweepOptions& options,
+    const std::function<void(const RatioGridEntry&, std::size_t done,
+                             std::size_t total)>& on_entry) {
+  const RatioSample sample = RatioSample::take(field, max_sample);
+
+  struct Cell {
+    std::string codec;
+    double eb = 0.0;
+  };
+  std::vector<Cell> cells;
+  cells.reserve(codecs.size() * bounds.size());
+  for (const std::string& codec : codecs)
+    for (double eb : bounds) cells.push_back({codec, eb});
+
+  std::vector<RatioGridEntry> entries(cells.size());
+  const std::size_t total = cells.size();
+  std::size_t done = 0;  // mutated only by the serialized in-order emitter
+  auto report = sweep_grid(
+      std::move(cells),
+      [&](const Cell& cell, SweepCellContext&) {
+        return estimate_ratio(sample, cell.codec, cell.eb);
+      },
+      options,
+      [&](const SweepCell<Cell, RatioEstimate>& cell) {
+        RatioGridEntry& e = entries[cell.index];
+        e.codec = cell.cell.codec;
+        e.eb_rel = cell.cell.eb;
+        if (cell.result) {
+          e.estimate = *cell.result;
+          e.ok = true;
+        } else if (cell.error) {
+          try {
+            std::rethrow_exception(cell.error);
+          } catch (const std::exception& ex) {
+            e.error = ex.what();
+          } catch (...) {
+            e.error = "unknown estimator error";
+          }
+        } else {
+          e.error = "cancelled";
+        }
+        ++done;
+        if (on_entry) on_entry(e, done, total);
+      });
+  return entries;
 }
 
 }  // namespace eblcio

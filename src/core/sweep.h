@@ -1,0 +1,187 @@
+// Generic grid-sweep engine — the one way every paper-scale grid fans its
+// independent cells out onto the shared executor.
+//
+// The paper's headline artifacts are grids: the Sec. VII advisor trials a
+// codec×bound table, capacity planning pre-screens the same grid through
+// the gray-box estimator (ref. [51]), and the Sec. IV-E experiment sweeps
+// node×rank worlds. Every cell is independent, so a sweep takes a cell
+// domain (any vector of descriptors), a per-cell evaluation functor, and
+// options, and executes the cells as one TaskGroup on the executor.
+//
+// Guarantees, regardless of how execution interleaves:
+//  * results land in *domain order* (cell i's outcome is slot i), and the
+//    optional on-cell-complete callback streams outcomes in that same
+//    order — partial tables render incrementally and deterministically;
+//  * one failing cell never aborts the grid: its exception is captured in
+//    its slot (callers inspect, or rethrow_first_error());
+//  * cancellation is cooperative: cells not yet started when the token
+//    fires are marked skipped, and skipped cells are still streamed so
+//    consumers see every index;
+//  * the per-cell repetition protocol (core/experiment.h) is available
+//    through the cell context, configured once per sweep, and produces
+//    bit-for-bit the statistics the serial path produces.
+//
+// options.parallel = false degrades to an in-order run on the calling
+// thread through the same code path — that is what makes serial/parallel
+// equivalence directly testable.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.h"
+#include "parallel/executor.h"
+
+namespace eblcio {
+
+// Cooperative cancellation token shared between a sweep and its caller
+// (or between a sweep and its own on-cell callback). Thread-safe.
+class SweepCancel {
+ public:
+  void request() { flag_.store(true, std::memory_order_relaxed); }
+  bool requested() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+struct SweepOptions {
+  Executor* executor = nullptr;  // null = Executor::global()
+  bool parallel = true;          // false = in-order on the calling thread
+  // Caps concurrently-runnable cell tasks by grouping consecutive cells
+  // into at most this many tasks (<= 0: one task per cell). Bound this
+  // when cells are themselves heavyweight worlds (a 512-rank simmpi cell
+  // lends 512 replacement workers while it runs).
+  int max_tasks = 0;
+  SweepCancel* cancel = nullptr;
+  // Engages ctx.repeat() with this protocol; cells may also call
+  // ctx.repeat() without it and get the default RepeatConfig.
+  std::optional<RepeatConfig> repeat;
+};
+
+// Handed to the evaluation functor; read-only view of one cell's slot in
+// the running sweep.
+class SweepCellContext {
+ public:
+  SweepCellContext(std::size_t index, const SweepCancel* cancel,
+                   const RepeatConfig& repeat)
+      : index_(index), cancel_(cancel), repeat_(repeat) {}
+
+  std::size_t index() const { return index_; }
+
+  // True once cancellation was requested; long-running cells may poll it
+  // and return early (their partial result is still recorded).
+  bool cancel_requested() const { return cancel_ && cancel_->requested(); }
+
+  // Runs `sample` under the sweep's repetition protocol (Sec. IV-C: up to
+  // max_runs, or until the 95% CI tightens) and returns the statistics.
+  RepeatedStats repeat(const std::function<double()>& sample) const {
+    return run_repeated(sample, repeat_);
+  }
+
+ private:
+  std::size_t index_;
+  const SweepCancel* cancel_;
+  const RepeatConfig& repeat_;
+};
+
+// Per-cell outcome of the type-erased layer.
+struct SweepCellStatus {
+  std::size_t index = 0;
+  bool skipped = false;      // cancelled before evaluation started
+  std::exception_ptr error;  // the cell threw; isolated to this slot
+  double seconds = 0.0;      // host wall clock of this evaluation
+  bool ok() const { return !skipped && !error; }
+};
+
+struct SweepStats {
+  std::size_t cells = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t skipped = 0;
+  double wall_s = 0.0;        // whole-grid host wall clock
+  double cell_seconds = 0.0;  // summed per-cell wall clock
+};
+
+namespace detail {
+// Type-erased engine: evaluates eval(i, ctx) for i in [0, n), streaming
+// on_cell(status) in index order (on_cell may be null). Cell exceptions
+// are captured per status. An exception thrown by on_cell itself aborts
+// the sweep: later callbacks are suppressed, unstarted cells are skipped,
+// and the first callback exception rethrows from run_sweep once in-flight
+// cells settle — the same observable behavior in serial and parallel mode.
+SweepStats run_sweep(std::size_t n,
+                     const std::function<void(std::size_t, SweepCellContext&)>& eval,
+                     const std::function<void(const SweepCellStatus&)>& on_cell,
+                     const SweepOptions& options);
+}  // namespace detail
+
+// One cell of a typed sweep: the descriptor plus its outcome.
+template <typename Cell, typename Result>
+struct SweepCell {
+  std::size_t index = 0;
+  Cell cell{};
+  std::optional<Result> result;  // engaged iff the cell completed
+  std::exception_ptr error;      // engaged iff the cell threw
+  bool skipped = false;          // cancelled before start
+  double seconds = 0.0;          // host wall clock of the evaluation
+  bool ok() const { return result.has_value(); }
+};
+
+template <typename Cell, typename Result>
+struct SweepReport {
+  std::vector<SweepCell<Cell, Result>> cells;  // always in domain order
+  SweepStats stats;
+
+  void rethrow_first_error() const {
+    for (const auto& c : cells)
+      if (c.error) std::rethrow_exception(c.error);
+  }
+};
+
+// Evaluates eval(cell, ctx) -> Result over every cell of the domain and
+// returns the outcomes in domain order. `on_cell` (optional) is invoked
+// once per cell — including failed and skipped ones — serialized and in
+// domain order, as soon as every earlier cell has also resolved; this is
+// the streaming hook incremental tables build on. (The callback parameter
+// is non-deduced, so call sites pass bare lambdas.)
+template <typename Cell, typename Eval,
+          typename Result = std::invoke_result_t<Eval&, const Cell&,
+                                                 SweepCellContext&>>
+SweepReport<Cell, Result> sweep_grid(
+    std::vector<Cell> cells, Eval eval, const SweepOptions& options = {},
+    const std::type_identity_t<
+        std::function<void(const SweepCell<Cell, Result>&)>>& on_cell =
+        nullptr) {
+  static_assert(!std::is_void_v<Result>,
+                "sweep cells must return a value; use bool for effect-only "
+                "cells");
+  SweepReport<Cell, Result> report;
+  report.cells.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    report.cells[i].index = i;
+    report.cells[i].cell = std::move(cells[i]);
+  }
+  auto eval_erased = [&](std::size_t i, SweepCellContext& ctx) {
+    const Cell& cell = report.cells[i].cell;
+    report.cells[i].result.emplace(eval(cell, ctx));
+  };
+  auto emit = [&](const SweepCellStatus& st) {
+    SweepCell<Cell, Result>& c = report.cells[st.index];
+    c.skipped = st.skipped;
+    c.error = st.error;
+    c.seconds = st.seconds;
+    if (on_cell) on_cell(c);
+  };
+  report.stats = detail::run_sweep(report.cells.size(), eval_erased, emit,
+                                   options);
+  return report;
+}
+
+}  // namespace eblcio

@@ -45,14 +45,16 @@ PfsSimulator::WriteResult PfsSimulator::write_file(
   f.size = data.size();
   f.stripe_count = config_.stripe_count;
   f.stripe_size = config_.stripe_size;
-  f.first_ost = next_ost_;
-  next_ost_ = (next_ost_ + config_.stripe_count) % config_.num_osts;
-
   for (std::size_t off = 0; off < data.size(); off += config_.stripe_size) {
     const std::size_t len = std::min(config_.stripe_size, data.size() - off);
     f.stripes.emplace_back(data.begin() + off, data.begin() + off + len);
   }
-  files_[path] = std::move(f);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    f.first_ost = next_ost_;
+    next_ost_ = (next_ost_ + config_.stripe_count) % config_.num_osts;
+    files_[path] = std::move(f);
+  }
 
   WriteResult r;
   r.bytes = data.size();
@@ -64,6 +66,7 @@ PfsSimulator::WriteResult PfsSimulator::write_file(
 PfsSimulator::WriteResult PfsSimulator::append_file(
     const std::string& path, std::span<const std::byte> data,
     int concurrent_clients) {
+  std::unique_lock<std::mutex> lock(mu_);
   auto it = files_.find(path);
   const bool creating = it == files_.end();
   if (creating) {
@@ -94,6 +97,7 @@ PfsSimulator::WriteResult PfsSimulator::append_file(
     ++stripes_touched;
   }
   f.size += data.size();
+  lock.unlock();
 
   const int clients = std::max(concurrent_clients, 1);
   const double bw = effective_bandwidth(clients);
@@ -123,6 +127,7 @@ PfsSimulator::WriteResult PfsSimulator::AppendStream::append(
 
 PfsSimulator::WriteResult PfsSimulator::read_cost(
     const std::string& path, int concurrent_clients) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
   WriteResult r;
@@ -133,6 +138,7 @@ PfsSimulator::WriteResult PfsSimulator::read_cost(
 }
 
 Bytes PfsSimulator::read_file(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
   Bytes out;
@@ -143,18 +149,24 @@ Bytes PfsSimulator::read_file(const std::string& path) const {
 }
 
 bool PfsSimulator::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return files_.count(path) > 0;
 }
 
 std::size_t PfsSimulator::file_size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
   return it->second.size;
 }
 
-void PfsSimulator::remove(const std::string& path) { files_.erase(path); }
+void PfsSimulator::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+}
 
 std::vector<std::string> PfsSimulator::list_files() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(files_.size());
   for (const auto& [name, file] : files_) names.push_back(name);
@@ -162,6 +174,7 @@ std::vector<std::string> PfsSimulator::list_files() const {
 }
 
 std::vector<std::size_t> PfsSimulator::ost_usage() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::size_t> usage(config_.num_osts, 0);
   for (const auto& [name, file] : files_) {
     for (std::size_t k = 0; k < file.stripes.size(); ++k) {
@@ -173,5 +186,16 @@ std::vector<std::size_t> PfsSimulator::ost_usage() const {
   }
   return usage;
 }
+
+PfsSimulator::WriterScope::WriterScope(PfsSimulator& pfs, int writers)
+    : pfs_(&pfs), writers_(writers) {
+  EBLCIO_CHECK_ARG(writers >= 1, "writer scope needs at least one writer");
+  const int now = pfs_->writers_.fetch_add(writers_) + writers_;
+  int peak = pfs_->writer_peak_.load();
+  while (peak < now && !pfs_->writer_peak_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+PfsSimulator::WriterScope::~WriterScope() { pfs_->writers_.fetch_sub(writers_); }
 
 }  // namespace eblcio

@@ -12,10 +12,17 @@
 //
 // Files are really stored (striped across in-memory OST buffers) and really
 // reassembled on read, so container round-trip tests are end-to-end.
+//
+// Thread-safety: all file operations serialize on an internal mutex, so
+// concurrent clients (batched node×rank worlds, streaming pipelines, sweep
+// cells sharing one PFS) may write/read without external locking. The
+// writer registry (WriterScope / concurrent_writers) is lock-free.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -105,6 +112,34 @@ class PfsSimulator {
   // without storing anything (used for modeled aggregate flows).
   double transfer_seconds(std::size_t bytes, int concurrent_clients) const;
 
+  // --- concurrent-writer registry ------------------------------------------
+  //
+  // Historically every experiment told the contention model how many
+  // clients were writing (`concurrent_clients`), which is only honest while
+  // one world owns the file system. When independent (nodes, ranks) worlds
+  // batch concurrently on the executor, each world registers its writing
+  // fleet for its lifetime and asks concurrent_writers() for the *true*
+  // number of simultaneously-writing clients across every overlapping
+  // world — the count the Fig. 12 contention model should be fed.
+  class WriterScope {
+   public:
+    // Registers `writers` simultaneously-writing clients until destruction.
+    explicit WriterScope(PfsSimulator& pfs, int writers = 1);
+    ~WriterScope();
+    WriterScope(const WriterScope&) = delete;
+    WriterScope& operator=(const WriterScope&) = delete;
+
+   private:
+    PfsSimulator* pfs_;
+    int writers_;
+  };
+
+  // Writers registered right now / the high-water mark since construction
+  // (or the last reset_writer_peak()).
+  int concurrent_writers() const { return writers_.load(); }
+  int peak_concurrent_writers() const { return writer_peak_.load(); }
+  void reset_writer_peak() { writer_peak_.store(writers_.load()); }
+
  private:
   struct StoredFile {
     std::size_t size = 0;
@@ -119,8 +154,11 @@ class PfsSimulator {
   double effective_bandwidth(int concurrent_clients) const;
 
   PfsConfig config_;
+  mutable std::mutex mu_;  // guards files_ and next_ost_
   std::map<std::string, StoredFile> files_;
   int next_ost_ = 0;
+  std::atomic<int> writers_{0};
+  std::atomic<int> writer_peak_{0};
 };
 
 }  // namespace eblcio

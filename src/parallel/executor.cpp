@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <exception>
+#include <functional>
 
 #include "common/error.h"
+#include "common/rng.h"
 #include "common/timer.h"
 
 namespace eblcio {
@@ -170,7 +172,21 @@ bool Executor::try_pop_injection(Task& out) {
 
 bool Executor::try_steal(const Worker* self, Task& out) {
   const int published = published_workers_.load();
-  for (int i = 0; i < published; ++i) {
+  if (published <= 0) return false;
+  // Randomized victim selection (first step of the locality roadmap item):
+  // scanning upward from slot 0 made every thief hammer worker 0's deque
+  // lock first, so under fan-out from one producer all thieves serialized
+  // on the same mutex. A per-thread random starting slot spreads the scan
+  // pressure uniformly across victims; the circular scan still visits
+  // every published worker, so no queued task is ever missed.
+  static thread_local Rng steal_rng(
+      0x9e3779b97f4a7c15ULL ^
+      static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  const int start = static_cast<int>(
+      steal_rng.next_below(static_cast<std::uint64_t>(published)));
+  for (int k = 0; k < published; ++k) {
+    const int i = start + k < published ? start + k : start + k - published;
     Worker* victim = slots_[i].get();
     if (victim == self) continue;
     std::lock_guard<std::mutex> lock(victim->mu);
