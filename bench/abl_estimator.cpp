@@ -3,30 +3,29 @@
 // gray-box prediction a capacity planner would use instead of compressing
 // the archive to size it.
 //
-// The dataset×codec×bound grid runs as a sweep on the shared executor
-// (core/sweep.h): every cell estimates from a per-dataset RatioSample
-// taken once up front (the pre-screen regime) and then really compresses
-// for the measured baseline; rows stream into the table in deterministic
-// domain order. --serial runs the identical cells in order for A/B wall-
-// clock comparison.
+// The dataset×codec×bound grid (3×3×2 = 18 cells) runs as a sweep on the
+// shared executor via bench_util.h::run_grid_bench: every cell estimates
+// from a per-dataset RatioSample taken once up front (the pre-screen
+// regime) and then really compresses for the measured baseline; rows
+// stream in deterministic domain order. --verify compares the
+// deterministic columns (prediction, measurement, their ratio)
+// bit-for-bit against a serial rerun; the two timing columns are
+// excluded — wall clock is run-to-run noise.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <iostream>
 #include <map>
 
 #include "bench_util.h"
 #include "common/timer.h"
 #include "compressors/compressor.h"
 #include "core/estimator.h"
-#include "core/sweep.h"
 
 using namespace eblcio;
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const auto env = bench::BenchEnv::from_cli(args);
-  const bool serial = args.get_bool("serial", false);
   bench::print_bench_header(
       "Validation", "Predicted vs measured compression ratio (zPerf role)",
       env);
@@ -36,6 +35,7 @@ int main(int argc, char** argv) {
     std::string codec;
     double eb = 0.0;
   };
+  const std::size_t per_dataset = 3 * 2;  // codecs × bounds
   std::vector<GridCell> cells;
   std::map<std::string, const Field*> fields;
   std::map<std::string, RatioSample> samples;
@@ -53,59 +53,69 @@ int main(int argc, char** argv) {
     double t_est = 0.0;
     double t_comp = 0.0;
   };
-  SweepOptions sweep;
-  sweep.parallel = !serial;
-  const auto report = sweep_grid(
-      std::move(cells),
-      [&](const GridCell& cell, SweepCellContext&) {
-        CellResult r;
-        r.t_est = timed_s(
-            [&] { r.est = estimate_ratio(samples.at(cell.dataset), cell.codec,
-                                         cell.eb); });
-        CompressOptions o;
-        o.error_bound = cell.eb;
-        Bytes blob;
-        const Field& f = *fields.at(cell.dataset);
-        r.t_comp =
-            timed_s([&] { blob = compressor(cell.codec).compress(f, o); });
-        r.actual = static_cast<double>(f.size_bytes()) /
-                   static_cast<double>(blob.size());
-        return r;
-      },
-      sweep);
-  report.rethrow_first_error();
+  // Raw results land here (indexed by cell) for the accuracy summary; the
+  // verify rerun overwrites only with identical deterministic values.
+  std::vector<CellResult> results(cells.size());
+  auto eval = [&](const GridCell& cell, SweepCellContext& ctx) {
+    CellResult r;
+    r.t_est = timed_s(
+        [&] { r.est = estimate_ratio(samples.at(cell.dataset), cell.codec,
+                                     cell.eb); });
+    CompressOptions o;
+    o.error_bound = cell.eb;
+    Bytes blob;
+    const Field& f = *fields.at(cell.dataset);
+    r.t_comp =
+        timed_s([&] { blob = compressor(cell.codec).compress(f, o); });
+    r.actual = static_cast<double>(f.size_bytes()) /
+               static_cast<double>(blob.size());
+    results[ctx.index()] = r;
+    return r;
+  };
+  auto render = [](const GridCell& cell, const CellResult& r) {
+    return std::vector<std::string>{
+        cell.dataset,
+        cell.codec,
+        fmt_error_bound(cell.eb),
+        fmt_double(r.est.predicted_ratio, 1),
+        fmt_double(r.actual, 1),
+        fmt_double(r.est.predicted_ratio / r.actual, 2),
+        fmt_double(r.t_est, 4),
+        fmt_double(r.t_comp, 3)};
+  };
+  // Columns 0..5 are pure functions of the cell; 6..7 are host timings.
+  const std::size_t kDeterministicCols = 6;
 
-  TextTable t({"Dataset", "Codec", "REL", "predicted", "measured",
-               "pred/meas", "est time (s)", "comp time (s)"});
+  bench::StreamedTable table({"Dataset", "Codec", "REL", "predicted",
+                              "measured", "pred/meas", "est time (s)",
+                              "comp time (s)"});
+  const auto summary = bench::run_grid_bench(
+      std::move(cells), env, eval, render,
+      [&](const GridCell&, std::size_t index,
+          const std::vector<std::string>& fragment) {
+        table.add_row(fragment);
+        if ((index + 1) % per_dataset == 0) table.add_rule();
+      },
+      [&](const GridCell&, const std::vector<std::string>& fragment) {
+        return bench::detail::join_fragment(
+            {fragment.begin(), fragment.begin() + kDeterministicCols});
+      });
+  table.finish();
+  bench::print_grid_summary(summary);
+
   double worst = 1.0, sum_log_err = 0.0;
-  int ncells = 0;
-  std::string last_dataset;
-  for (const auto& cell : report.cells) {
-    if (!last_dataset.empty() && cell.cell.dataset != last_dataset)
-      t.add_rule();
-    last_dataset = cell.cell.dataset;
-    const CellResult& r = *cell.result;
+  for (const CellResult& r : results) {
     const double rel = r.est.predicted_ratio / r.actual;
     worst = std::max(worst, std::max(rel, 1.0 / rel));
     sum_log_err += std::fabs(std::log2(rel));
-    ++ncells;
-    t.add_row({cell.cell.dataset, cell.cell.codec,
-               fmt_error_bound(cell.cell.eb),
-               fmt_double(r.est.predicted_ratio, 1), fmt_double(r.actual, 1),
-               fmt_double(rel, 2), fmt_double(r.t_est, 4),
-               fmt_double(r.t_comp, 3)});
   }
-  t.add_rule();
-  t.print(std::cout);
-
   std::printf(
-      "\nSummary: geometric-mean error %.2fx, worst cell %.2fx; %zu-cell\n"
-      "grid swept in %.3f s wall (%.3f s summed cell time, %s).\n"
-      "Estimation runs orders of magnitude faster than compressing\n"
+      "\nSummary: geometric-mean error %.2fx, worst cell %.2fx over %zu\n"
+      "cells. Estimation runs orders of magnitude faster than compressing\n"
       "(sampled, size-independent) — the gray-box regime of the paper's\n"
       "refs. [39]/[51].\n",
-      std::exp2(sum_log_err / std::max(ncells, 1)), worst,
-      report.stats.cells, report.stats.wall_s, report.stats.cell_seconds,
-      serial ? "serial" : "parallel");
-  return 0;
+      std::exp2(sum_log_err /
+                std::max<std::size_t>(results.size(), 1)),
+      worst, results.size());
+  return summary.exit_code();
 }

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <mutex>
+#include <ostream>
 
 namespace eblcio::bench {
 
@@ -43,48 +45,64 @@ void print_bench_header(const std::string& id, const std::string& title,
                         const BenchEnv& env) {
   std::printf("================================================================\n");
   std::printf("%s — %s\n", id.c_str(), title.c_str());
-  std::printf("scale=%.3g reps=%d seed=%llu\n", env.scale, env.reps,
-              static_cast<unsigned long long>(env.seed));
+  std::printf("scale=%.3g reps=%d seed=%llu%s%s\n", env.scale, env.reps,
+              static_cast<unsigned long long>(env.seed),
+              env.serial ? " serial" : "", env.verify ? " verify" : "");
   std::printf("================================================================\n");
 }
 
 CompressionRecord measure_compression(const Field& field,
                                       const PipelineConfig& config,
-                                      const BenchEnv& env) {
+                                      const BenchEnv& env,
+                                      const SweepCellContext* ctx) {
   // Host kernel measurements are independent of the simulated platform, so
   // they are memoized per (field, codec, bound, threads): the three-CPU
   // sweeps of Figs. 7/10 derive all platform energies from one measurement,
-  // exactly as the energy model intends.
-  static std::map<std::string, CompressionRecord> cache;
+  // exactly as the energy model intends. The per-key once-flag means
+  // concurrent sweep cells sharing a key block on a single measurement
+  // instead of racing to fill the slot with different host timings.
+  struct HostEntry {
+    std::once_flag once;
+    CompressionRecord rec;
+  };
+  static std::map<std::string, HostEntry> cache;
   static std::mutex mu;
   const std::string key = field.name() + "|" +
                           fmt_dims(field.shape().dims_vector()) + "|" +
                           config.codec + "|" +
                           fmt_double(config.error_bound, 12) + "|" +
                           std::to_string(config.threads);
-  CompressionRecord host_rec;
+  HostEntry* entry = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu);
-    auto it = cache.find(key);
-    if (it != cache.end()) {
-      host_rec = it->second;
-    } else {
-      // Repeat per the paper's protocol on the host timings; keep the run
-      // with the smallest host time (least noisy on a shared machine).
-      // Quality and size are deterministic across runs.
-      double best_time = 1e300;
-      const int runs = std::max(1, env.reps);
-      for (int i = 0; i < runs; ++i) {
-        CompressionRecord rec = run_compression(field, config);
-        const double t = rec.host_compress_s + rec.host_decompress_s;
-        if (t < best_time) {
-          best_time = t;
-          host_rec = rec;
-        }
-      }
-      cache[key] = host_rec;
-    }
+    entry = &cache[key];  // std::map nodes are reference-stable
   }
+  std::call_once(entry->once, [&] {
+    // Repeat per the paper's Sec. IV-C protocol on the host timings (the
+    // run count comes from the shared protocol — the sweep's via
+    // ctx.repeat when available, env.repeat_config() otherwise); keep the
+    // run with the smallest host time (least noisy on a shared machine).
+    // Quality and size are deterministic across runs.
+    double best_time = 1e300;
+    const auto sample = [&]() -> double {
+      CompressionRecord rec = run_compression(field, config);
+      const double t = rec.host_compress_s + rec.host_decompress_s;
+      if (t < best_time) {
+        best_time = t;
+        entry->rec = rec;
+      }
+      return t;
+    };
+    if (env.reps <= 1) {
+      (void)sample();
+    } else if (ctx) {
+      (void)ctx->repeat(sample);
+    } else {
+      (void)run_repeated(sample, env.repeat_config());
+    }
+  });
+  CompressionRecord host_rec = entry->rec;
+
   // Re-derive platform time/energy for the requested CPU.
   const CpuModel& cpu = cpu_model(config.cpu);
   PowercapMonitor monitor(cpu);
@@ -100,6 +118,84 @@ CompressionRecord measure_compression(const Field& field,
   host_rec.decompress_s = ed.seconds;
   host_rec.decompress_j = ed.joules;
   return host_rec;
+}
+
+// --- StreamedTable ---------------------------------------------------------
+
+std::ostream& StreamedTable::default_stream() { return std::cout; }
+
+StreamedTable::StreamedTable(std::vector<std::string> header,
+                             std::ostream& os, std::size_t min_width)
+    : header_(std::move(header)), os_(os) {
+  width_.reserve(header_.size());
+  for (const std::string& h : header_)
+    width_.push_back(std::max(h.size(), min_width));
+  emit_table_rule(os_, width_);
+  emit_table_row(os_, header_, width_);
+  emit_table_rule(os_, width_);
+  os_.flush();
+}
+
+void StreamedTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  if (pending_rule_) {
+    emit_table_rule(os_, width_);
+    pending_rule_ = false;
+  }
+  emit_table_row(os_, cells, width_);
+  os_.flush();
+  ++rows_;
+}
+
+void StreamedTable::add_rule() { pending_rule_ = true; }
+
+void StreamedTable::finish() {
+  if (finished_) return;
+  finished_ = true;
+  pending_rule_ = false;
+  emit_table_rule(os_, width_);
+  os_.flush();
+}
+
+// --- Grid summary ----------------------------------------------------------
+
+namespace detail {
+std::string join_fragment(const std::vector<std::string>& fragment) {
+  std::string joined;
+  for (const std::string& cell : fragment) {
+    joined += cell;
+    joined += '\x1f';  // unit separator: cells can contain any text
+  }
+  return joined;
+}
+}  // namespace detail
+
+void print_grid_summary(const GridRunSummary& s) {
+  std::printf(
+      "\nsweep: %zu cells, %s, wall %.3f s (summed cell time %.3f s)\n",
+      s.stats.cells,
+      s.serial ? "serial (in order on the calling thread)"
+               : "batched on the shared executor",
+      s.stats.wall_s, s.stats.cell_seconds);
+  if (s.stats.failed || s.stats.skipped)
+    std::printf("sweep: %zu failed, %zu skipped\n", s.stats.failed,
+                s.stats.skipped);
+  if (!s.verified) return;
+  if (s.verify_trivial) {
+    std::printf(
+        "verify: ran with --serial, so the cross-check is trivial; drop\n"
+        "--serial to compare the batched sweep against a serial rerun\n");
+  } else if (s.verify_ok) {
+    std::printf(
+        "verify: streamed sweep rows bit-identical to the serial rerun "
+        "(%zu cells)\n",
+        s.verify_cells);
+  } else {
+    std::printf(
+        "verify: FAILED — %zu of %zu rendered cells DIFFER between the\n"
+        "batched sweep and the serial rerun\n",
+        s.verify_mismatches, s.verify_cells);
+  }
 }
 
 }  // namespace eblcio::bench

@@ -1,7 +1,10 @@
 // Fig. 9 — PSNR against total (comp + decomp) energy for a field of S3D
 // across error bounds and compressors, Intel Xeon CPU MAX 9480.
+//
+// The codec×bound grid (5×5 = 25 cells) runs as a sweep on the shared
+// executor; each row streams the moment its cell resolves. --serial,
+// --verify and --reps behave as documented in bench/README.md.
 #include <cstdio>
-#include <iostream>
 
 #include "bench_util.h"
 #include "compressors/compressor.h"
@@ -15,26 +18,44 @@ int main(int argc, char** argv) {
       "Fig. 9", "PSNR vs total energy, S3D, MAX 9480", env);
 
   const Field& f = bench::bench_dataset("S3D", env);
-  TextTable t({"Compressor", "REL Bound", "PSNR (dB)", "Total Energy (J)"});
-  for (const std::string& codec : eblc_names()) {
-    for (double eb : bench::paper_bounds()) {
-      PipelineConfig cfg;
-      cfg.codec = codec;
-      cfg.error_bound = eb;
-      cfg.cpu = "9480";
-      const auto rec = bench::measure_compression(f, cfg, env);
-      t.add_row({codec, fmt_error_bound(eb),
-                 fmt_double(rec.quality.psnr_db, 2),
-                 fmt_double(rec.total_j(), 2)});
-    }
-    t.add_rule();
-  }
-  t.print(std::cout);
+  struct Cell {
+    std::string codec;
+    double eb = 0.0;
+  };
+  const std::size_t per_series = bench::paper_bounds().size();
+  std::vector<Cell> cells;
+  for (const std::string& codec : eblc_names())
+    for (double eb : bench::paper_bounds()) cells.push_back({codec, eb});
+
+  auto eval = [&](const Cell& cell, SweepCellContext& ctx) {
+    PipelineConfig cfg;
+    cfg.codec = cell.codec;
+    cfg.error_bound = cell.eb;
+    cfg.cpu = "9480";
+    return bench::measure_compression(f, cfg, env, &ctx);
+  };
+  auto render = [](const Cell& cell, const CompressionRecord& rec) {
+    return std::vector<std::string>{cell.codec, fmt_error_bound(cell.eb),
+                                    fmt_double(rec.quality.psnr_db, 2),
+                                    fmt_double(rec.total_j(), 2)};
+  };
+
+  bench::StreamedTable table(
+      {"Compressor", "REL Bound", "PSNR (dB)", "Total Energy (J)"});
+  const auto summary = bench::run_grid_bench(
+      std::move(cells), env, eval, render,
+      [&](const Cell&, std::size_t index,
+          const std::vector<std::string>& fragment) {
+        table.add_row(fragment);
+        if ((index + 1) % per_series == 0) table.add_rule();
+      });
+  table.finish();
+  bench::print_grid_summary(summary);
 
   std::printf(
       "\nExpected shape (paper Fig. 9): higher PSNR costs more energy\n"
       "(fidelity is paid for in joules); QoZ is the off-trend exception —\n"
       "its quality-oriented tuning holds PSNR high across the energy\n"
       "range relative to the other compressors.\n");
-  return 0;
+  return summary.exit_code();
 }

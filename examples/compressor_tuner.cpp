@@ -54,12 +54,7 @@ int main(int argc, char** argv) {
     cons.psnr_min_db = psnr_floor;
     cons.objective = obj;
     cons.parallel = parallel;
-    if (reps > 1) {
-      RepeatConfig repeat;
-      repeat.min_runs = std::min(3, reps);  // protocol needs >= 2 runs
-      repeat.max_runs = reps;
-      cons.repeat = repeat;
-    }
+    if (reps > 1) cons.repeat = repeat_protocol(reps);
     std::printf("--- objective: %s (%s sweep) ---\n", objective_name(obj),
                 parallel ? "parallel" : "serial");
     const AdvisorReport report = advise_compression(

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Checks relative markdown links across the repo's documentation.
+
+For every tracked *.md file, extracts [text](target) links and verifies
+that relative targets exist on disk (anchors are stripped; http/https/
+mailto links are skipped — CI stays offline). Exits nonzero listing the
+broken links. Stdlib only.
+"""
+import os
+import re
+import subprocess
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def tracked_markdown(root):
+    out = subprocess.run(
+        ["git", "ls-files", "-co", "--exclude-standard", "--", "*.md"],
+        cwd=root, check=True, capture_output=True, text=True)
+    return [line for line in out.stdout.splitlines() if line]
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    broken = []
+    checked = 0
+    for md in tracked_markdown(root):
+        md_dir = os.path.dirname(os.path.join(root, md))
+        with open(os.path.join(root, md), encoding="utf-8") as fh:
+            text = fh.read()
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            checked += 1
+            resolved = os.path.normpath(os.path.join(md_dir, path))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: ({target}) -> missing {resolved}")
+    if broken:
+        print("broken markdown links:")
+        for b in broken:
+            print("  " + b)
+        return 1
+    print(f"markdown links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,25 @@
 
 namespace eblcio {
 
+void emit_table_row(std::ostream& os, const std::vector<std::string>& cells,
+                    const std::vector<std::size_t>& widths) {
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < cells.size() ? cells[c] : std::string();
+    const std::size_t pad =
+        widths[c] > cell.size() ? widths[c] - cell.size() : 0;
+    os << " " << cell << std::string(pad, ' ') << " |";
+  }
+  os << "\n";
+}
+
+void emit_table_rule(std::ostream& os,
+                     const std::vector<std::size_t>& widths) {
+  os << "+";
+  for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+  os << "\n";
+}
+
 TextTable::TextTable(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
@@ -24,31 +43,15 @@ std::string TextTable::to_string() const {
     for (std::size_t c = 0; c < row.cells.size(); ++c)
       width[c] = std::max(width[c], row.cells[c].size());
 
-  auto emit_row = [&](std::ostringstream& os,
-                      const std::vector<std::string>& cells) {
-    os << "|";
-    for (std::size_t c = 0; c < header_.size(); ++c) {
-      const std::string& cell = c < cells.size() ? cells[c] : std::string();
-      os << " " << cell << std::string(width[c] - cell.size(), ' ') << " |";
-    }
-    os << "\n";
-  };
-  auto emit_rule = [&](std::ostringstream& os) {
-    os << "+";
-    for (std::size_t c = 0; c < header_.size(); ++c)
-      os << std::string(width[c] + 2, '-') << "+";
-    os << "\n";
-  };
-
   std::ostringstream os;
-  emit_rule(os);
-  emit_row(os, header_);
-  emit_rule(os);
+  emit_table_rule(os, width);
+  emit_table_row(os, header_, width);
+  emit_table_rule(os, width);
   for (const auto& row : rows_) {
-    if (row.rule_before) emit_rule(os);
-    emit_row(os, row.cells);
+    if (row.rule_before) emit_table_rule(os, width);
+    emit_table_row(os, row.cells, width);
   }
-  emit_rule(os);
+  emit_table_rule(os, width);
   return os.str();
 }
 

@@ -11,6 +11,14 @@
 
 namespace eblcio {
 
+// Renders one framed row / horizontal rule at the given column widths —
+// the single definition of the table format, shared by the batch
+// TextTable printer and the streaming bench::StreamedTable. A cell wider
+// than its column overflows it (padding is never negative).
+void emit_table_row(std::ostream& os, const std::vector<std::string>& cells,
+                    const std::vector<std::size_t>& widths);
+void emit_table_rule(std::ostream& os, const std::vector<std::size_t>& widths);
+
 class TextTable {
  public:
   explicit TextTable(std::vector<std::string> header);

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <vector>
@@ -18,6 +19,13 @@ double t_critical_95(int n) {
   const int df = n - 1;
   if (df <= 30) return kTable[df - 1];
   return 1.96;
+}
+
+RepeatConfig repeat_protocol(int reps) {
+  RepeatConfig cfg;
+  cfg.max_runs = std::max(2, reps);
+  cfg.min_runs = std::min(3, cfg.max_runs);
+  return cfg;
 }
 
 RepeatedStats run_repeated(const std::function<double()>& sample,

@@ -25,6 +25,14 @@ struct RepeatConfig {
 RepeatedStats run_repeated(const std::function<double()>& sample,
                            const RepeatConfig& config = {});
 
+// Builds the protocol configuration for a requested repetition budget:
+// the cap is `reps` (at least the 2 runs a confidence interval needs),
+// warming up to 3 runs before the CI stop-check when the budget allows.
+// This is the one clamp every caller of the protocol shares — benches
+// (`bench/bench_util.h::BenchEnv::repeat_config`) and examples route a
+// user-facing `--reps` through it instead of hand-rolling bounds.
+RepeatConfig repeat_protocol(int reps);
+
 // Two-sided 95% Student-t critical value for n-1 degrees of freedom
 // (n >= 2; clamped to the asymptotic 1.96 for large n).
 double t_critical_95(int n);

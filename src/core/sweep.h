@@ -41,7 +41,12 @@
 namespace eblcio {
 
 // Cooperative cancellation token shared between a sweep and its caller
-// (or between a sweep and its own on-cell callback). Thread-safe.
+// (or between a sweep and its own on-cell callback). Thread-safe: any
+// thread may request() at any time; the sweep observes the flag before
+// starting each not-yet-running cell and marks the remainder skipped.
+// Cells already executing are not interrupted — long-running cells poll
+// SweepCellContext::cancel_requested() and return early if they care.
+// Requesting cancellation is idempotent and cannot be revoked.
 class SweepCancel {
  public:
   void request() { flag_.store(true, std::memory_order_relaxed); }
@@ -61,7 +66,10 @@ struct SweepOptions {
   int max_tasks = 0;
   SweepCancel* cancel = nullptr;
   // Engages ctx.repeat() with this protocol; cells may also call
-  // ctx.repeat() without it and get the default RepeatConfig.
+  // ctx.repeat() without it and get the default RepeatConfig. Grid
+  // benches build this from their --reps budget via
+  // core/experiment.h::repeat_protocol (see
+  // bench/bench_util.h::BenchEnv::sweep_options).
   std::optional<RepeatConfig> repeat;
 };
 
@@ -149,8 +157,13 @@ struct SweepReport {
 // returns the outcomes in domain order. `on_cell` (optional) is invoked
 // once per cell — including failed and skipped ones — serialized and in
 // domain order, as soon as every earlier cell has also resolved; this is
-// the streaming hook incremental tables build on. (The callback parameter
-// is non-deduced, so call sites pass bare lambdas.)
+// the streaming hook incremental tables build on (the figure/table
+// benches consume it through bench/bench_util.h::run_grid_bench, which
+// adds the --serial/--verify/--jobs conventions on top). Serialization
+// means callbacks never overlap and need no locking of their own; a
+// callback that throws aborts the sweep with the semantics documented on
+// detail::run_sweep. (The callback parameter is non-deduced, so call
+// sites pass bare lambdas.)
 template <typename Cell, typename Eval,
           typename Result = std::invoke_result_t<Eval&, const Cell&,
                                                  SweepCellContext&>>
