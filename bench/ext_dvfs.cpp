@@ -6,8 +6,14 @@
 // compression kernel on NYX: runtime stretches as 1/f while active power
 // scales ~ f^2.4, so with a non-trivial idle floor the energy-minimal
 // frequency is interior — race-to-idle is not optimal for these kernels.
+//
+// The freq×codec grid runs on the sweep engine (run_grid_bench), so rows
+// stream as cells complete and --serial/--verify/--reps/--jobs behave as
+// in every other grid bench. Kernel measurements are memoized per cell
+// key, which makes the --verify serial rerun exact.
 #include <cstdio>
-#include <iostream>
+#include <map>
+#include <optional>
 
 #include "bench_util.h"
 #include "compressors/compressor.h"
@@ -23,31 +29,58 @@ int main(int argc, char** argv) {
       env);
 
   const CpuModel& cpu = cpu_model("9480");
-  const Field& f = bench::bench_dataset("NYX", env);
+  bench::bench_dataset("NYX", env);  // generate before the cells race
   const std::vector<double> freqs = {0.5, 0.6, 0.7, 0.8, 0.9,
                                      1.0, 1.1, 1.2};
 
-  TextTable t({"freq scale", "SZ2 (J)", "SZ3 (J)", "ZFP (J)", "QoZ (J)",
-               "SZx (J)"});
+  struct Cell {
+    double freq = 1.0;
+    std::string codec;
+  };
+  const std::vector<std::string>& codecs = eblc_names();
+  const std::size_t per_row = codecs.size();
+  std::vector<Cell> cells;
+  for (double freq : freqs)
+    for (const std::string& codec : codecs) cells.push_back({freq, codec});
+
+  auto eval = [&](const Cell& cell, SweepCellContext& ctx) {
+    const Field& f = bench::bench_dataset("NYX", env);
+    PipelineConfig cfg;
+    cfg.codec = cell.codec;
+    cfg.error_bound = eb;
+    cfg.cpu = cpu.name;
+    const auto rec = bench::measure_compression(f, cfg, env, &ctx);
+    // Nominal platform time of the compression kernel, re-run at `freq`.
+    return cpu.compute_energy_j(rec.compress_s, 1, cell.freq);
+  };
   std::map<std::string, std::pair<double, double>> best;  // codec -> (f, J)
-  for (double freq : freqs) {
-    std::vector<std::string> row = {fmt_double(freq, 1)};
-    for (const std::string& codec : eblc_names()) {
-      PipelineConfig cfg;
-      cfg.codec = codec;
-      cfg.error_bound = eb;
-      cfg.cpu = cpu.name;
-      const auto rec = bench::measure_compression(f, cfg, env);
-      // Nominal platform time of the compression kernel, re-run at `freq`.
-      const double joules = cpu.compute_energy_j(rec.compress_s, 1, freq);
-      row.push_back(fmt_double(joules, 2));
-      auto it = best.find(codec);
-      if (it == best.end() || joules < it->second.second)
-        best[codec] = {freq, joules};
-    }
-    t.add_row(row);
-  }
-  t.print(std::cout);
+  auto render = [&](const Cell& cell, const double& joules) {
+    // Serialized (streamed rows emit in order); idempotent across the
+    // --verify rerun, so the minimum tracking stays exact.
+    auto it = best.find(cell.codec);
+    if (it == best.end() || joules < it->second.second)
+      best[cell.codec] = {cell.freq, joules};
+    return std::vector<std::string>{fmt_double(joules, 2)};
+  };
+
+  std::optional<bench::StreamedTable> table;
+  std::vector<std::string> row;
+  const auto summary = bench::run_grid_bench(
+      std::move(cells), env, eval, render,
+      [&](const Cell& cell, std::size_t index,
+          const std::vector<std::string>& fragment) {
+        if (index == 0) {
+          std::vector<std::string> header = {"freq scale"};
+          for (const std::string& codec : codecs)
+            header.push_back(codec + " (J)");
+          table.emplace(std::move(header));
+        }
+        if (index % per_row == 0) row = {fmt_double(cell.freq, 1)};
+        row.insert(row.end(), fragment.begin(), fragment.end());
+        if (row.size() == 1 + per_row) table->add_row(row);
+      });
+  if (table) table->finish();
+  bench::print_grid_summary(summary);
 
   std::printf("\nenergy-minimal frequency per codec:");
   for (const std::string& codec : eblc_names())
@@ -57,5 +90,5 @@ int main(int argc, char** argv) {
       "than nominal wastes idle energy and running faster pays the ~f^2.4\n"
       "active-power premium; the optimum sits between — the DVFS result of\n"
       "the paper's ref. [21], reproduced on this library's power model.\n");
-  return 0;
+  return summary.exit_code();
 }

@@ -1,8 +1,11 @@
 // climate_checkpoint — the paper's motivating workflow (Sec. I): a climate
 // simulation (CESM-like) periodically dumps its state. The example lets the
 // compression advisor pick a codec under a PSNR floor, then checkpoints the
-// field through HDF5 to the Lustre-class PFS, restarts from it, and reports
-// the full time/energy ledger against uncompressed checkpoints.
+// field through the chosen container's chunked-dataset API on the streamed
+// compress→write pipeline (slab i compresses while the container writes
+// slab i-1), restarts from it through the symmetric streamed fetch→
+// decompress pipeline, verifies the bound, and reports the full time/energy
+// ledger against uncompressed checkpoints.
 //
 //   ./examples/climate_checkpoint [--psnr=70] [--steps=4] [--io=HDF5]
 #include <cstdio>
@@ -15,6 +18,7 @@
 #include "core/decision.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
+#include "energy/powercap_monitor.h"
 #include "io/io_tool.h"
 #include "metrics/error_stats.h"
 
@@ -47,9 +51,12 @@ int main(int argc, char** argv) {
               advice.recommendation.ratio, advice.recommendation.psnr_db);
 
   PfsSimulator pfs;
+  IoTool& tool = io_tool(io_name);
   double total_comp_j = 0, total_write_j = 0, total_orig_j = 0;
+  double dump_saved_s = 0, restart_saved_s = 0;
   TextTable t({"step", "ratio", "PSNR (dB)", "compress (J)",
-               "write comp (J)", "write orig (J)", "verdict"});
+               "write comp (J)", "write orig (J)", "dump strm (s)",
+               "restart strm (s)"});
   for (int step = 0; step < steps; ++step) {
     Field state = generate_dataset_dims("CESM", {26, 96, 192},
                                         static_cast<std::uint64_t>(step + 1));
@@ -60,39 +67,54 @@ int main(int argc, char** argv) {
     cfg.error_bound = eb;
     cfg.io_library = io_name;
     cfg.psnr_min_db = psnr_floor;
-    const WriteRecord rec = run_compress_write(state, cfg, pfs);
 
-    total_comp_j += rec.compression.compress_j;
-    total_write_j += rec.write_compressed_j;
-    total_orig_j += rec.write_original_j;
-    t.add_row({std::to_string(step), fmt_double(rec.compression.ratio, 1),
-               fmt_double(rec.compression.quality.psnr_db, 1),
-               fmt_double(rec.compression.compress_j, 3),
-               fmt_double(rec.write_compressed_j, 3),
-               fmt_double(rec.write_original_j, 3),
-               rec.verdict.beneficial() ? "compress" : "don't"});
+    // Streamed dump: each compressed slab lands as one chunk in the real
+    // container while the next slab is still compressing.
+    const StreamWriteRecord dump =
+        run_streamed_compress_write(state, cfg, pfs);
+    // Uncompressed baseline checkpoint for the ledger.
+    const IoCost orig =
+        tool.write_field(pfs, dump.path + ".orig", state);
+    const CpuModel& cpu = cpu_model(cfg.cpu);
+    PowercapMonitor mon(cpu);
+    const double orig_j =
+        mon.record_compute("orig-prep", orig.prep_seconds, 1).joules +
+        mon.record_io("orig-write", orig.transfer_seconds).joules;
 
-    // Restart check: read the checkpoint back and verify the bound.
-    IoTool& tool = io_tool(io_name);
-    const Bytes blob =
-        tool.read_blob(pfs, "/pfs/" + state.name() + ".eblc." + tool.name(),
-                       state.name());
-    const Field restored = decompress_any(blob);
-    if (!check_value_range_bound(state, restored, eb)) {
+    // Streamed restart: fetch of slab i overlaps decompression of i-1.
+    const StreamReadRecord restart = run_streamed_read(pfs, dump.path, cfg);
+    const auto quality = compute_error_stats(state, restart.field);
+    if (!check_value_range_bound(state, restart.field, eb)) {
       std::printf("restart verification FAILED at step %d\n", step);
       return 1;
     }
+
+    total_comp_j += dump.compress_j;
+    total_write_j += dump.write_j;
+    total_orig_j += orig_j;
+    dump_saved_s += dump.overlap_saving_s();
+    restart_saved_s += restart.overlap_saving_s();
+    t.add_row({std::to_string(step), fmt_double(dump.ratio(), 1),
+               fmt_double(quality.psnr_db, 1),
+               fmt_double(dump.compress_j, 3),
+               fmt_double(dump.write_j, 3), fmt_double(orig_j, 3),
+               fmt_double(dump.streamed_total_s, 4),
+               fmt_double(restart.streamed_total_s, 4)});
   }
   t.print(std::cout);
 
   std::printf(
-      "\n%d checkpoints: compression %.2f J + compressed writes %.2f J vs\n"
-      "uncompressed writes %.2f J  =>  I/O energy saved: %.1fx, end-to-end\n"
-      "%s. All restarts verified within the bound.\n",
-      steps, total_comp_j, total_write_j, total_orig_j,
+      "\n%d streamed checkpoints through %s: compression %.2f J +\n"
+      "compressed writes %.2f J vs uncompressed writes %.2f J  =>  I/O\n"
+      "energy saved: %.1fx, end-to-end %s.\n"
+      "Pipeline overlap saved %.4f s across dumps and %.4f s across\n"
+      "restarts vs the serial schedules. All restarts verified within the\n"
+      "bound.\n",
+      steps, tool.name().c_str(), total_comp_j, total_write_j, total_orig_j,
       total_orig_j / std::max(total_write_j, 1e-12),
       total_comp_j + total_write_j < total_orig_j
           ? "compression wins (Eq. 4 satisfied)"
-          : "compression costs more than it saves at this scale");
+          : "compression costs more than it saves at this scale",
+      dump_saved_s, restart_saved_s);
   return 0;
 }

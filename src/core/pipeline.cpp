@@ -94,25 +94,9 @@ WriteRecord run_compress_write(const Field& field,
   return rec;
 }
 
-// --- Streaming (chunked) write experiment ---------------------------------
+// --- Streaming (chunked) experiments ---------------------------------------
 
 namespace {
-
-// Streamed container framing: the header goes to the PFS before the first
-// slab finishes compressing; each slab is an independent self-describing
-// compressed blob, so the format needs no global size table.
-constexpr std::uint32_t kStreamMagic = 0x45425331;  // "EBS1"
-
-Bytes encode_stream_header(const Field& field, std::size_t nslabs) {
-  Bytes out;
-  append_pod<std::uint32_t>(out, kStreamMagic);
-  append_string(out, field.name());
-  const auto dims = field.shape().dims_vector();
-  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(dims.size()));
-  for (std::size_t d : dims) append_pod<std::uint64_t>(out, d);
-  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(nslabs));
-  return out;
-}
 
 struct ProducedSlab {
   std::size_t index = 0;
@@ -137,6 +121,7 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   EBLCIO_CHECK_ARG(stream.queue_depth >= 1, "queue depth must be positive");
   Compressor& comp = compressor(config.codec);
   const CpuModel& cpu = cpu_model(config.cpu);
+  IoTool& tool = io_tool(config.io_library);
 
   const auto slabs = split_slabs(field, stream.slabs);
   const std::size_t nslabs = slabs.size();
@@ -154,7 +139,8 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
 
   StreamWriteRecord rec;
   rec.codec = comp.name();
-  rec.path = "/pfs/" + field.name() + ".eblc.stream";
+  rec.io_library = tool.name();
+  rec.path = "/pfs/" + field.name() + ".eblc.stream." + tool.name();
   rec.slabs = static_cast<int>(nslabs);
   rec.queue_depth = stream.queue_depth;
   rec.original_bytes = field.size_bytes();
@@ -162,6 +148,7 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   rec.slab_write_s.resize(nslabs);
 
   PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
+  PfsSimulator::WriterScope writer_scope(pfs);
   BoundedChannel<ProducedSlab> channel(
       static_cast<std::size_t>(stream.queue_depth));
 
@@ -189,27 +176,45 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
     }
   });
 
-  // Consumer (this thread): streams the container to the PFS, one append
-  // per slab, while the producer compresses ahead. If it throws, the
-  // closer unblocks the producer so the TaskGroup can unwind.
+  // Records one chunk-write IoCost: prep is container serialization work
+  // (compute at one core), transfer is PFS time.
+  const auto charge_io = [&](const char* prep_label, const char* io_label,
+                             const IoCost& cost) {
+    const auto prep = monitor.record_compute(prep_label, cost.prep_seconds, 1);
+    const auto io = monitor.record_io(io_label, cost.transfer_seconds);
+    return std::pair<double, double>(prep.seconds + io.seconds,
+                                     prep.joules + io.joules);
+  };
+
+  // Consumer (this thread): streams chunks into the IoTool container, one
+  // append_chunk per slab, while the producer compresses ahead. If it
+  // throws, the closer unblocks the producer so the TaskGroup can unwind.
   ChannelCloser<ProducedSlab> closer{&channel};
-  auto out = pfs.open_append(rec.path);
-  const auto header_w = out.append(encode_stream_header(field, nslabs));
-  double write_j =
-      monitor.record_io("stream-write-header", header_w.seconds).joules;
+  ChunkedDatasetMeta meta;
+  meta.name = field.name();
+  meta.dtype_code = 2;  // opaque compressed chunks
+  meta.dims = field.shape().dims_vector();
+  meta.attributes["content"] = "eblc-compressed";
+  meta.attributes["codec"] = rec.codec;
+  auto out = tool.open_chunked(pfs, rec.path, meta);
+  auto [open_s, open_j] =
+      charge_io("stream-write-prep", "stream-write-open", out.open_cost());
+  double write_j = open_j;
   while (auto produced = channel.pop()) {
-    Bytes framed;
-    append_pod<std::uint64_t>(framed, produced->blob.size());
-    append_bytes(framed, produced->blob);
-    const auto w = out.append(framed);
-    const auto reading = monitor.record_io("stream-write", w.seconds);
-    rec.slab_write_s[produced->index] = reading.seconds;
-    write_j += reading.joules;
+    const IoCost w = out.append_chunk(produced->blob);
+    const auto [seconds, joules] =
+        charge_io("stream-write-prep", "stream-write", w);
+    rec.slab_write_s[produced->index] = seconds;
+    write_j += joules;
   }
+  const IoCost close_cost = out.close();
+  const auto [close_s, close_j] =
+      charge_io("stream-write-prep", "stream-write-close", close_cost);
+  write_j += close_j;
   producer.wait();
 
   rec.host_wall_s = wall.elapsed_s();
-  rec.compressed_bytes = out.bytes_written();
+  rec.compressed_bytes = pfs.file_size(rec.path);
   rec.compress_j = compress_j;
   rec.write_j = write_j;
 
@@ -217,50 +222,145 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   // slab i-1 and after a channel slot frees. A slot frees when the writer
   // *pops* slab i-1-depth — i.e. when it finishes the write before it
   // (effective buffering is queue_depth + the slab in the writer's
-  // hands). The writer starts slab i when both it and the slab are ready.
+  // hands). The writer starts slab i when both it and the slab are ready;
+  // the chunk-index commit caps the schedule after the last chunk.
   const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
   std::vector<double> fc(nslabs, 0.0), fw(nslabs, 0.0);
-  double serial_compress = 0.0;
+  double serial_compress = 0.0, serial_write = 0.0;
   for (std::size_t i = 0; i < nslabs; ++i) {
     double start = i > 0 ? fc[i - 1] : 0.0;
     if (i >= depth + 2) start = std::max(start, fw[i - 2 - depth]);
-    else if (i == depth + 1) start = std::max(start, header_w.seconds);
+    else if (i == depth + 1) start = std::max(start, open_s);
     fc[i] = start + rec.slab_compress_s[i];
-    const double writer_free = i > 0 ? fw[i - 1] : header_w.seconds;
+    const double writer_free = i > 0 ? fw[i - 1] : open_s;
     fw[i] = std::max(fc[i], writer_free) + rec.slab_write_s[i];
     serial_compress += rec.slab_compress_s[i];
+    serial_write += rec.slab_write_s[i];
   }
-  rec.streamed_total_s = fw[nslabs - 1];
+  rec.streamed_total_s = fw[nslabs - 1] + close_s;
+  // Serial reference: the identical container writes, scheduled after all
+  // compression instead of overlapped with it.
   rec.serial_total_s =
-      serial_compress + pfs.transfer_seconds(rec.compressed_bytes, 1);
+      serial_compress + open_s + serial_write + close_s;
   return rec;
 }
 
-Field read_streamed_field(PfsSimulator& pfs, const std::string& path,
-                          int threads) {
-  const Bytes data = pfs.read_file(path);
-  ByteReader r(data);
-  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kStreamMagic,
-                      "not a streamed container");
-  const std::string name = r.read_string();
-  const auto ndims = r.read_pod<std::uint32_t>();
-  std::vector<std::size_t> dims(ndims);
-  for (auto& d : dims)
-    d = static_cast<std::size_t>(r.read_pod<std::uint64_t>());
-  const auto nslabs = r.read_pod<std::uint32_t>();
-  EBLCIO_CHECK_STREAM(nslabs >= 1, "streamed container holds no slabs");
+StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
+                                   const PipelineConfig& config,
+                                   const StreamConfig& stream) {
+  EBLCIO_CHECK_ARG(stream.queue_depth >= 1, "queue depth must be positive");
+  const CpuModel& cpu = cpu_model(config.cpu);
+  IoTool& tool = io_tool(config.io_library);
 
-  std::vector<std::span<const std::byte>> blobs(nslabs);
-  for (auto& b : blobs) {
-    const auto size = r.read_pod<std::uint64_t>();
-    b = r.read_bytes(size);
-  }
+  StreamReadRecord rec;
+  rec.io_library = tool.name();
+  rec.path = path;
+  rec.queue_depth = stream.queue_depth;
+  rec.container_bytes = pfs.file_size(path);
 
-  std::vector<Field> slab_fields(nslabs);
-  parallel_for(nslabs, std::max(threads, 1), [&](std::size_t i) {
-    slab_fields[i] = decompress_any(blobs[i], 1);
+  PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
+  PfsSimulator::ReaderScope reader_scope(pfs);
+
+  // Open the container: the footer chunk index and dataset metadata arrive
+  // through ranged reads before the pipeline starts (open paid once).
+  auto reader = tool.open_chunked_reader(pfs, path);
+  const std::size_t nslabs = reader.index().chunks.size();
+  EBLCIO_CHECK_STREAM(nslabs >= 1, "chunked container holds no slabs");
+  rec.slabs = static_cast<int>(nslabs);
+  rec.slab_fetch_s.resize(nslabs);
+  rec.slab_decompress_s.resize(nslabs);
+
+  const auto open_prep = monitor.record_compute(
+      "stream-read-prep", reader.open_cost().prep_seconds, 1);
+  const auto open_io =
+      monitor.record_io("stream-read-open", reader.open_cost().transfer_seconds);
+  const double open_s = open_prep.seconds + open_io.seconds;
+  double fetch_j = open_prep.joules + open_io.joules;
+
+  BoundedChannel<ProducedSlab> channel(
+      static_cast<std::size_t>(stream.queue_depth));
+  WallTimer wall;
+
+  // Producer: fetches chunk i with ranged PFS reads as one executor task
+  // while the consumer decompresses chunk i-1; blocks on the channel when
+  // queue_depth fetched slabs await the decompressor.
+  TaskGroup producer;
+  producer.run([&] {
+    ChannelCloser<ProducedSlab> closer{&channel};
+    for (std::size_t i = 0; i < nslabs; ++i) {
+      IoCost cost;
+      Bytes blob = reader.read_chunk(i, &cost);
+      const auto prep =
+          monitor.record_compute("stream-fetch-prep", cost.prep_seconds, 1);
+      const auto io = monitor.record_io("stream-fetch", cost.transfer_seconds);
+      rec.slab_fetch_s[i] = prep.seconds + io.seconds;
+      fetch_j += prep.joules + io.joules;
+      channel.push({i, std::move(blob)});
+    }
   });
-  return merge_slabs(slab_fields, dims, name);
+
+  // Consumer (this thread): decompresses slabs as they arrive. A corrupt
+  // slab throws here; the closer unblocks the producer and no partial
+  // field escapes (the exception propagates out of this function).
+  std::vector<Field> slab_fields(nslabs);
+  double decompress_j = 0.0;
+  {
+    ChannelCloser<ProducedSlab> closer{&channel};
+    while (auto produced = channel.pop()) {
+      WallTimer t;
+      Field slab = decompress_any(produced->blob, 1);
+      const auto reading =
+          monitor.record_compute("stream-decompress", t.elapsed_s(), 1);
+      rec.slab_decompress_s[produced->index] = reading.seconds;
+      decompress_j += reading.joules;
+      slab_fields[produced->index] = std::move(slab);
+    }
+  }
+  producer.wait();
+
+  rec.host_wall_s = wall.elapsed_s();
+  rec.fetch_j = fetch_j;
+  rec.decompress_j = decompress_j;
+  rec.field = merge_slabs(slab_fields, reader.index().meta.dims,
+                          reader.index().meta.name);
+  rec.field_bytes = rec.field.size_bytes();
+
+  // Mirror of the write recurrence with the roles swapped: the fetcher
+  // finishes slab i after slab i-1 and after a channel slot frees (the
+  // decompressor popped slab i-1-depth when it finished slab i-2-depth);
+  // the first fetch waits for the index fetch at open. The decompressor
+  // starts slab i when both it and the fetched slab are ready.
+  const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
+  std::vector<double> ff(nslabs, 0.0), fd(nslabs, 0.0);
+  double serial_fetch = 0.0, serial_decompress = 0.0;
+  for (std::size_t i = 0; i < nslabs; ++i) {
+    double start = i > 0 ? ff[i - 1] : open_s;
+    if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
+    ff[i] = start + rec.slab_fetch_s[i];
+    const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
+    fd[i] = std::max(ff[i], decomp_free) + rec.slab_decompress_s[i];
+    serial_fetch += rec.slab_fetch_s[i];
+    serial_decompress += rec.slab_decompress_s[i];
+  }
+  rec.streamed_total_s = fd[nslabs - 1];
+  // Serial reference: open, fetch everything, then decompress everything.
+  rec.serial_total_s = open_s + serial_fetch + serial_decompress;
+  return rec;
+}
+
+Field read_chunked_field(PfsSimulator& pfs, const std::string& path,
+                         const std::string& io_library) {
+  IoTool& tool = io_tool(io_library);
+  auto reader = tool.open_chunked_reader(pfs, path);
+  const std::size_t nslabs = reader.index().chunks.size();
+  EBLCIO_CHECK_STREAM(nslabs >= 1, "chunked container holds no slabs");
+  std::vector<Bytes> blobs(nslabs);
+  for (std::size_t i = 0; i < nslabs; ++i) blobs[i] = reader.read_chunk(i);
+  std::vector<Field> slab_fields(nslabs);
+  for (std::size_t i = 0; i < nslabs; ++i)
+    slab_fields[i] = decompress_any(blobs[i], 1);
+  return merge_slabs(slab_fields, reader.index().meta.dims,
+                     reader.index().meta.name);
 }
 
 }  // namespace eblcio

@@ -77,28 +77,33 @@ WriteRecord run_compress_write(const Field& field,
 //
 // Instead of compressing the whole field and only then touching the PFS,
 // the field is split into slabs and pushed through a producer/consumer
-// pipeline on the shared executor: slab i compresses while the PFS append
-// stream is still writing slab i-1. A bounded channel between the stages
-// provides backpressure (the producer stalls when `queue_depth` compressed
-// slabs are waiting). This is the overlap mechanism behind the paper's
-// parallel write results (Figs. 10-12).
+// pipeline on the shared executor: slab i compresses while the container's
+// chunked-dataset stream is still writing slab i-1. A bounded channel
+// between the stages provides backpressure (the producer stalls when
+// `queue_depth` compressed slabs are waiting). The container is whichever
+// IoTool config.io_library names — each compressed slab lands as one chunk
+// through IoTool::ChunkWriter, so the on-PFS file is a real HDF5/NetCDF/
+// ADIOS chunked dataset, not a bespoke stream format. This is the overlap
+// mechanism behind the paper's parallel write results (Figs. 10-12).
 
 struct StreamConfig {
   int slabs = 8;        // pipeline depth: slabs split along dim 0
-  int queue_depth = 2;  // compressed slabs buffered before backpressure
+  int queue_depth = 2;  // slabs buffered in the channel before backpressure
 };
 
 struct StreamWriteRecord {
   std::string codec;
-  std::string path;     // streamed container on the PFS
+  std::string io_library;  // container the chunks streamed through
+  std::string path;        // chunked container on the PFS
   int slabs = 0;
   int queue_depth = 0;
   std::size_t original_bytes = 0;
-  std::size_t compressed_bytes = 0;
+  std::size_t compressed_bytes = 0;  // whole container (header+chunks+index)
   // Modeled platform times. serial_total_s charges compress-everything-
-  // then-write-everything; streamed_total_s is the pipeline makespan from
-  // the per-slab recurrence (writer busy on slab i-1 while slab i
-  // compresses, bounded by queue_depth).
+  // then-write-everything (the identical container writes, just not
+  // overlapped); streamed_total_s is the pipeline makespan from the
+  // per-slab recurrence (writer busy on slab i-1 while slab i compresses,
+  // bounded by queue_depth).
   double serial_total_s = 0.0;
   double streamed_total_s = 0.0;
   // Host wall clock of the real concurrent run (compress tasks genuinely
@@ -119,15 +124,63 @@ struct StreamWriteRecord {
   double overlap_saving_s() const { return serial_total_s - streamed_total_s; }
 };
 
-// Runs the streamed experiment and leaves the container at record.path.
+// Runs the streamed experiment and leaves the chunked container at
+// record.path (readable by run_streamed_read / read_chunked_field with the
+// same io_library).
 StreamWriteRecord run_streamed_compress_write(const Field& field,
                                               const PipelineConfig& config,
                                               PfsSimulator& pfs,
                                               const StreamConfig& stream = {});
 
-// Reads a streamed container back and reassembles the full field
-// (per-slab decompression runs as executor tasks).
-Field read_streamed_field(PfsSimulator& pfs, const std::string& path,
-                          int threads = 1);
+// --- Streaming (chunked) read experiment -----------------------------------
+//
+// The restart-time mirror of the write pipeline: a producer task fetches
+// chunk i from the container with ranged PFS reads while this thread
+// decompresses chunk i-1, connected by the same bounded channel. Fetch of
+// slab i overlaps decompression of slab i-1, so the makespan undercuts the
+// serial fetch-everything-then-decompress-everything schedule — the
+// paper's Sec. VI-A "doubly effective" read-side benefit, measured.
+
+struct StreamReadRecord {
+  std::string io_library;
+  std::string path;
+  int slabs = 0;        // chunks found in the container index
+  int queue_depth = 0;
+  std::size_t container_bytes = 0;  // compressed container size on the PFS
+  std::size_t field_bytes = 0;      // reconstructed field size
+  // Modeled platform times: serial_total_s charges open + every fetch +
+  // every decompression back-to-back; streamed_total_s is the pipeline
+  // makespan (fetcher ahead of the decompressor, bounded by queue_depth).
+  double serial_total_s = 0.0;
+  double streamed_total_s = 0.0;
+  double host_wall_s = 0.0;
+  // Energy recorded through one shared thread-safe monitor.
+  double fetch_j = 0.0;
+  double decompress_j = 0.0;
+  // Per-slab platform times feeding the recurrence (fetch, decompress).
+  std::vector<double> slab_fetch_s;
+  std::vector<double> slab_decompress_s;
+  // The reassembled field.
+  Field field;
+
+  double overlap_saving_s() const { return serial_total_s - streamed_total_s; }
+};
+
+// Reads a chunked container written by run_streamed_compress_write (or any
+// IoTool::ChunkWriter holding compressed slabs) back through the streamed
+// fetch→decompress pipeline. config.io_library must name the container's
+// tool; config.cpu selects the platform model. Only stream.queue_depth is
+// honoured (the slab count comes from the container's chunk index). Throws
+// CorruptStream — with no partial field escaping — when the container, its
+// chunk index, or any slab is malformed.
+StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
+                                   const PipelineConfig& config,
+                                   const StreamConfig& stream = {});
+
+// Serial reference for the same container: fetches every chunk in order,
+// then decompresses them in order, on the calling thread. Bit-for-bit
+// identical to run_streamed_read's field — the --verify baseline.
+Field read_chunked_field(PfsSimulator& pfs, const std::string& path,
+                         const std::string& io_library);
 
 }  // namespace eblcio

@@ -188,4 +188,12 @@ Bytes AdiosLiteTool::read_blob(PfsSimulator& pfs, const std::string& path,
   return file.variable(dataset_name).data;
 }
 
+IoTool::ChunkProfile AdiosLiteTool::chunk_profile() const {
+  ChunkProfile p;
+  p.prep_bandwidth_bps = kPrepBandwidthBps;
+  p.per_chunk_prep_s = kPerVariablePrepS;
+  p.close_footer_rpcs = 1;
+  return p;
+}
+
 }  // namespace eblcio

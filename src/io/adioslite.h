@@ -54,6 +54,11 @@ class AdiosLiteTool : public IoTool {
   Field read_field(PfsSimulator& pfs, const std::string& path) override;
   Bytes read_blob(PfsSimulator& pfs, const std::string& path,
                   const std::string& dataset_name) override;
+
+ protected:
+  // Chunked streaming is BP's native shape: appended segments, no staging,
+  // one footer-index RPC at close.
+  ChunkProfile chunk_profile() const override;
 };
 
 }  // namespace eblcio

@@ -177,4 +177,12 @@ Bytes H5LiteTool::read_blob(PfsSimulator& pfs, const std::string& path,
   return file.dataset(dataset_name).data;
 }
 
+IoTool::ChunkProfile H5LiteTool::chunk_profile() const {
+  ChunkProfile p;
+  p.prep_bandwidth_bps = kPrepBandwidthBps;
+  p.per_chunk_prep_s = kPerDatasetPrepS;
+  p.close_footer_rpcs = 1;  // chunk B-tree commit
+  return p;
+}
+
 }  // namespace eblcio

@@ -53,6 +53,11 @@ class H5LiteTool : public IoTool {
   Field read_field(PfsSimulator& pfs, const std::string& path) override;
   Bytes read_blob(PfsSimulator& pfs, const std::string& path,
                   const std::string& dataset_name) override;
+
+ protected:
+  // Chunked streaming: direct from the caller's buffer (no staging), with
+  // one chunk-B-tree commit RPC at close.
+  ChunkProfile chunk_profile() const override;
 };
 
 }  // namespace eblcio

@@ -7,8 +7,10 @@
 // transfer time, because the two phases draw different power.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/field.h"
@@ -21,6 +23,46 @@ struct IoCost {
   double transfer_seconds = 0.0;  // PFS time
   std::size_t bytes_written = 0;
   double total_seconds() const { return prep_seconds + transfer_seconds; }
+};
+
+// --- Chunked datasets ------------------------------------------------------
+//
+// A chunked dataset streams through a container one slab at a time: the
+// writer appends self-contained chunks through the PFS append path, and the
+// container commits a chunk index (offset/size per chunk) in its footer at
+// close. Readers load the index with ranged reads and then fetch chunks
+// individually — which is what lets the streaming pipelines
+// (core/pipeline.h) run through the real container formats instead of a
+// bespoke stream file. Every tool shares one wire layout (header, appended
+// chunks, footer index) tagged with the owning tool's name; what differs
+// per tool is the cost mechanism (HDF5 writes chunks direct from the
+// caller's buffer; NetCDF stages each chunk through its conversion buffer
+// and rewrites the header at close; ADIOS appends segments and commits one
+// footer RPC).
+
+// Dataset-level metadata carried by a chunked container.
+struct ChunkedDatasetMeta {
+  std::string name;
+  std::uint8_t dtype_code = 2;  // same codes as H5Dataset / NcVariable
+  std::vector<std::size_t> dims;  // logical dims of the full dataset
+  std::map<std::string, std::string> attributes;
+};
+
+// One chunk's extent inside the container file.
+struct ChunkExtent {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+};
+
+// The decoded footer: dataset metadata plus every chunk's extent.
+struct ChunkIndex {
+  ChunkedDatasetMeta meta;
+  std::vector<ChunkExtent> chunks;
+  std::size_t total_bytes() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks) n += static_cast<std::size_t>(c.size);
+    return n;
+  }
 };
 
 class IoTool {
@@ -45,6 +87,90 @@ class IoTool {
   // Reads back a blob written by write_blob.
   virtual Bytes read_blob(PfsSimulator& pfs, const std::string& path,
                           const std::string& dataset_name) = 0;
+
+  // --- chunked-dataset streaming -----------------------------------------
+
+  // Stateful chunked-dataset writer. append_chunk streams one chunk
+  // through the PFS append path (paying this tool's per-chunk prep plus
+  // per-touched-stripe RPCs and transfer); close() commits the chunk-index
+  // footer and the tool's close-time metadata syncs. The container is not
+  // readable until close() has run.
+  class ChunkWriter {
+   public:
+    IoCost append_chunk(std::span<const std::byte> chunk,
+                        int concurrent_clients = 1);
+    IoCost close(int concurrent_clients = 1);
+
+    const std::string& path() const { return path_; }
+    std::size_t chunks_written() const { return extents_.size(); }
+    // Payload bytes appended so far (container framing excluded).
+    std::size_t payload_bytes() const;
+    bool closed() const { return closed_; }
+    // What writing the container header cost (charged at open).
+    const IoCost& open_cost() const { return open_cost_; }
+
+   private:
+    friend class IoTool;
+    ChunkWriter(const IoTool* tool, PfsSimulator& pfs, std::string path,
+                ChunkedDatasetMeta meta);
+
+    const IoTool* tool_;
+    PfsSimulator::AppendStream stream_;
+    std::string path_;
+    ChunkedDatasetMeta meta_;
+    std::vector<ChunkExtent> extents_;
+    IoCost open_cost_;
+    bool closed_ = false;
+  };
+
+  // Stateful chunked-dataset reader. Construction fetches and validates
+  // the footer index with ranged reads (paying the open once, the way a
+  // real reader opens the file and walks to its index); read_chunk then
+  // fetches one chunk's extent.
+  class ChunkReader {
+   public:
+    const ChunkIndex& index() const { return index_; }
+    // What opening the container (footer + header fetches) cost.
+    const IoCost& open_cost() const { return open_cost_; }
+
+    // Fetches chunk `i`. The returned bytes are exactly what append_chunk
+    // wrote. `cost_out`, when given, receives this fetch's prep/transfer.
+    Bytes read_chunk(std::size_t i, IoCost* cost_out = nullptr,
+                     int concurrent_clients = 1);
+
+   private:
+    friend class IoTool;
+    ChunkReader(const IoTool* tool, PfsSimulator& pfs,
+                const std::string& path, int concurrent_clients);
+
+    const IoTool* tool_;
+    PfsSimulator::ReadStream stream_;
+    ChunkIndex index_;
+    IoCost open_cost_;
+  };
+
+  // Opens a fresh chunked container at `path` (truncating any previous
+  // file) holding one chunked dataset described by `meta`.
+  ChunkWriter open_chunked(PfsSimulator& pfs, const std::string& path,
+                           ChunkedDatasetMeta meta) const;
+
+  // Opens a closed chunked container for reading. Throws CorruptStream
+  // when the container is malformed, unclosed, or was written by a
+  // different tool.
+  ChunkReader open_chunked_reader(PfsSimulator& pfs, const std::string& path,
+                                  int concurrent_clients = 1) const;
+
+ protected:
+  // Per-tool chunk mechanics: how chunk staging is priced and which
+  // metadata syncs close() performs.
+  struct ChunkProfile {
+    double prep_bandwidth_bps = 6.0e9;  // chunk staging/prep throughput
+    double per_chunk_prep_s = 2.0e-5;   // fixed per-chunk prep
+    int close_header_syncs = 0;  // NetCDF-style header rewrites (open each)
+    int close_footer_rpcs = 0;   // HDF5/ADIOS index commit (RPC each)
+    bool staging_copy = false;   // chunk really staged through a buffer
+  };
+  virtual ChunkProfile chunk_profile() const = 0;
 };
 
 // Registry: "HDF5" or "NetCDF" (case-insensitive).

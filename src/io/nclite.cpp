@@ -179,4 +179,13 @@ Bytes NcLiteTool::read_blob(PfsSimulator& pfs, const std::string& path,
   return file.variable(dataset_name).data;
 }
 
+IoTool::ChunkProfile NcLiteTool::chunk_profile() const {
+  ChunkProfile p;
+  p.prep_bandwidth_bps = kStagingBandwidthBps;
+  p.per_chunk_prep_s = kPerVariablePrepS;
+  p.close_header_syncs = kHeaderSyncsPerVariable;  // enddef + close
+  p.staging_copy = true;
+  return p;
+}
+
 }  // namespace eblcio

@@ -53,6 +53,11 @@ class NcLiteTool : public IoTool {
   Field read_field(PfsSimulator& pfs, const std::string& path) override;
   Bytes read_blob(PfsSimulator& pfs, const std::string& path,
                   const std::string& dataset_name) override;
+
+ protected:
+  // Chunked streaming: every chunk stages through the classic conversion
+  // buffer, and close() performs the enddef + close header rewrites.
+  ChunkProfile chunk_profile() const override;
 };
 
 }  // namespace eblcio

@@ -125,15 +125,95 @@ PfsSimulator::WriteResult PfsSimulator::AppendStream::append(
   return r;
 }
 
+double PfsSimulator::range_read_seconds(std::size_t bytes,
+                                        std::size_t stripes_touched,
+                                        int concurrent_clients,
+                                        bool pay_open) const {
+  const int clients = std::max(concurrent_clients, 1);
+  double seconds =
+      static_cast<double>(stripes_touched) * config_.rpc_latency_s +
+      static_cast<double>(bytes) / effective_bandwidth(clients);
+  if (pay_open)
+    seconds += config_.open_latency_s +
+               config_.mds_service_s * static_cast<double>(clients);
+  return seconds;
+}
+
 PfsSimulator::WriteResult PfsSimulator::read_cost(
     const std::string& path, int concurrent_clients) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
+  const std::size_t size = it->second.size;
+  const std::size_t nstripes = it->second.stripes.size();
+  lock.unlock();
+  // One open plus a per-stripe RPC for every stripe the whole-file read
+  // touches — the same pricing a matching sequence of appends paid.
+  WriteResult r;
+  r.bytes = size;
+  r.seconds = range_read_seconds(size, nstripes, concurrent_clients, true);
+  r.effective_bw_bps = effective_bandwidth(concurrent_clients);
+  return r;
+}
+
+PfsSimulator::RangeRead PfsSimulator::read_range(const std::string& path,
+                                                 std::size_t offset,
+                                                 std::size_t length,
+                                                 int concurrent_clients,
+                                                 bool pay_open) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
+  const StoredFile& f = it->second;
+  // Overflow-safe extent check: a corrupt chunk index may carry offsets
+  // near SIZE_MAX, and offset + length must not wrap.
+  EBLCIO_CHECK_ARG(length <= f.size && offset <= f.size - length,
+                   "read_range past end of file: " + path);
+
+  RangeRead r;
+  r.data.reserve(length);
+  std::size_t stripes_touched = 0;
+  if (length > 0) {
+    // Stripe unit k holds [k * stripe_size, (k + 1) * stripe_size); only
+    // the trailing unit may be partial, so indexing is direct.
+    const std::size_t first = offset / f.stripe_size;
+    const std::size_t last = (offset + length - 1) / f.stripe_size;
+    stripes_touched = last - first + 1;
+    for (std::size_t k = first; k <= last; ++k) {
+      const std::size_t stripe_begin = k * f.stripe_size;
+      const std::size_t lo =
+          offset > stripe_begin ? offset - stripe_begin : 0;
+      const std::size_t hi =
+          std::min(f.stripes[k].size(), offset + length - stripe_begin);
+      r.data.insert(r.data.end(), f.stripes[k].begin() + lo,
+                    f.stripes[k].begin() + hi);
+    }
+  }
+  lock.unlock();
+
+  r.cost.bytes = length;
+  r.cost.effective_bw_bps = effective_bandwidth(concurrent_clients);
+  r.cost.seconds =
+      range_read_seconds(length, stripes_touched, concurrent_clients,
+                         pay_open);
+  return r;
+}
+
+PfsSimulator::ReadStream PfsSimulator::open_read(
+    const std::string& path) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(path);
   EBLCIO_CHECK_ARG(it != files_.end(), "no such file: " + path);
-  WriteResult r;
-  r.bytes = it->second.size;
-  r.seconds = transfer_seconds(it->second.size, concurrent_clients);
-  r.effective_bw_bps = effective_bandwidth(concurrent_clients);
+  return ReadStream(this, path, it->second.size);
+}
+
+PfsSimulator::RangeRead PfsSimulator::ReadStream::read(
+    std::size_t offset, std::size_t length, int concurrent_clients) {
+  RangeRead r =
+      pfs_->read_range(path_, offset, length, concurrent_clients, !opened_);
+  opened_ = true;
+  bytes_ += r.cost.bytes;
+  seconds_ += r.cost.seconds;
   return r;
 }
 
@@ -197,5 +277,16 @@ PfsSimulator::WriterScope::WriterScope(PfsSimulator& pfs, int writers)
 }
 
 PfsSimulator::WriterScope::~WriterScope() { pfs_->writers_.fetch_sub(writers_); }
+
+PfsSimulator::ReaderScope::ReaderScope(const PfsSimulator& pfs, int readers)
+    : pfs_(&pfs), readers_(readers) {
+  EBLCIO_CHECK_ARG(readers >= 1, "reader scope needs at least one reader");
+  const int now = pfs_->readers_.fetch_add(readers_) + readers_;
+  int peak = pfs_->reader_peak_.load();
+  while (peak < now && !pfs_->reader_peak_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+PfsSimulator::ReaderScope::~ReaderScope() { pfs_->readers_.fetch_sub(readers_); }
 
 }  // namespace eblcio

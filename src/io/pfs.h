@@ -16,7 +16,7 @@
 // Thread-safety: all file operations serialize on an internal mutex, so
 // concurrent clients (batched node×rank worlds, streaming pipelines, sweep
 // cells sharing one PFS) may write/read without external locking. The
-// writer registry (WriterScope / concurrent_writers) is lock-free.
+// writer/reader registries (WriterScope / ReaderScope) are lock-free.
 #pragma once
 
 #include <atomic>
@@ -77,6 +77,7 @@ class PfsSimulator {
     WriteResult append(std::span<const std::byte> data,
                        int concurrent_clients = 1);
     const std::string& path() const { return path_; }
+    PfsSimulator& pfs() const { return *pfs_; }
     std::size_t bytes_written() const { return bytes_; }
     double seconds_total() const { return seconds_; }
 
@@ -94,12 +95,58 @@ class PfsSimulator {
   // Opens (creating or truncating) `path` for incremental writes.
   AppendStream open_append(const std::string& path);
 
-  // Time to read a file back under the same contention model.
+  // Time to read a file back under the same contention model. Priced
+  // symmetrically with appends: one open/metadata charge plus a per-stripe
+  // RPC for every stripe unit the read touches, plus transfer time.
   WriteResult read_cost(const std::string& path,
                         int concurrent_clients = 1) const;
 
   // Reassembles the file from its stripes.
   Bytes read_file(const std::string& path) const;
+
+  // A ranged fetch: the extent's bytes plus what the fetch cost.
+  struct RangeRead {
+    Bytes data;
+    WriteResult cost;
+  };
+
+  // Fetches bytes [offset, offset + length) of `path` — the read mirror of
+  // append_file. The fetch pays a per-touched-stripe RPC plus transfer at
+  // the contended bandwidth; `pay_open` additionally charges the
+  // open/metadata latency (a fresh open of the file). Throws
+  // InvalidArgument when the extent reaches past end of file.
+  RangeRead read_range(const std::string& path, std::size_t offset,
+                       std::size_t length, int concurrent_clients = 1,
+                       bool pay_open = true) const;
+
+  // Stateful incremental reader over read_range: the open/metadata cost is
+  // paid exactly once (on the first fetch), and bytes/seconds accumulate
+  // across fetches — the fetch mirror of AppendStream.
+  class ReadStream {
+   public:
+    RangeRead read(std::size_t offset, std::size_t length,
+                   int concurrent_clients = 1);
+    const std::string& path() const { return path_; }
+    // File size when the stream was opened.
+    std::size_t size() const { return size_; }
+    std::size_t bytes_read() const { return bytes_; }
+    double seconds_total() const { return seconds_; }
+
+   private:
+    friend class PfsSimulator;
+    ReadStream(const PfsSimulator* pfs, std::string path, std::size_t size)
+        : pfs_(pfs), path_(std::move(path)), size_(size) {}
+
+    const PfsSimulator* pfs_;
+    std::string path_;
+    std::size_t size_ = 0;
+    bool opened_ = false;
+    std::size_t bytes_ = 0;
+    double seconds_ = 0.0;
+  };
+
+  // Opens `path` for incremental ranged reads. Throws when absent.
+  ReadStream open_read(const std::string& path) const;
 
   bool exists(const std::string& path) const;
   std::size_t file_size(const std::string& path) const;
@@ -140,6 +187,25 @@ class PfsSimulator {
   int peak_concurrent_writers() const { return writer_peak_.load(); }
   void reset_writer_peak() { writer_peak_.store(writers_.load()); }
 
+  // Reader registry, symmetric with WriterScope: restart/analysis worlds
+  // register their fetching fleets so batched readers can feed the
+  // contention model the true simultaneously-reading client count.
+  class ReaderScope {
+   public:
+    explicit ReaderScope(const PfsSimulator& pfs, int readers = 1);
+    ~ReaderScope();
+    ReaderScope(const ReaderScope&) = delete;
+    ReaderScope& operator=(const ReaderScope&) = delete;
+
+   private:
+    const PfsSimulator* pfs_;
+    int readers_;
+  };
+
+  int concurrent_readers() const { return readers_.load(); }
+  int peak_concurrent_readers() const { return reader_peak_.load(); }
+  void reset_reader_peak() { reader_peak_.store(readers_.load()); }
+
  private:
   struct StoredFile {
     std::size_t size = 0;
@@ -152,6 +218,10 @@ class PfsSimulator {
   };
 
   double effective_bandwidth(int concurrent_clients) const;
+  // Shared read pricing: per-touched-stripe RPCs + transfer, with the
+  // open/metadata charge only when `pay_open`.
+  double range_read_seconds(std::size_t bytes, std::size_t stripes_touched,
+                            int concurrent_clients, bool pay_open) const;
 
   PfsConfig config_;
   mutable std::mutex mu_;  // guards files_ and next_ost_
@@ -159,6 +229,8 @@ class PfsSimulator {
   int next_ost_ = 0;
   std::atomic<int> writers_{0};
   std::atomic<int> writer_peak_{0};
+  mutable std::atomic<int> readers_{0};
+  mutable std::atomic<int> reader_peak_{0};
 };
 
 }  // namespace eblcio

@@ -2,6 +2,9 @@
 // contention behaviour (the Fig. 12 mechanism).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
 #include "common/rng.h"
 #include "io/pfs.h"
@@ -114,6 +117,117 @@ TEST(Pfs, ReadCostMatchesContentionModel) {
   const auto busy = pfs.read_cost("/r", 256);
   EXPECT_GT(busy.seconds, solo.seconds);
   EXPECT_EQ(solo.bytes, 8u << 20);
+}
+
+// --- ranged reads (the fetch mirror of append_file) -------------------------
+
+TEST(PfsRead, RangeMatchesFileContent) {
+  PfsSimulator pfs;
+  const Bytes data = random_bytes(3u << 20, 11);  // spans several stripes
+  pfs.write_file("/rr", data, 1);
+  // Extents chosen to hit: inside one stripe, across a stripe boundary,
+  // the file head, and the exact tail.
+  const std::size_t stripe = pfs.config().stripe_size;
+  const std::pair<std::size_t, std::size_t> extents[] = {
+      {100, 5000},
+      {stripe - 10, 20},
+      {0, stripe},
+      {data.size() - 777, 777},
+  };
+  for (const auto& [off, len] : extents) {
+    const auto r = pfs.read_range("/rr", off, len);
+    ASSERT_EQ(r.data.size(), len);
+    EXPECT_TRUE(std::equal(r.data.begin(), r.data.end(),
+                           data.begin() + off));
+    EXPECT_EQ(r.cost.bytes, len);
+    EXPECT_GT(r.cost.seconds, 0.0);
+  }
+}
+
+TEST(PfsRead, RangePastEofThrows) {
+  PfsSimulator pfs;
+  pfs.write_file("/rr", random_bytes(1000, 12), 1);
+  EXPECT_THROW(pfs.read_range("/rr", 500, 501), InvalidArgument);
+  EXPECT_THROW(pfs.read_range("/rr", 1001, 0), InvalidArgument);
+  // Overflow-safe: offset near SIZE_MAX must not wrap past the check.
+  EXPECT_THROW(pfs.read_range("/rr", ~std::size_t{0} - 4, 10),
+               InvalidArgument);
+  EXPECT_THROW(pfs.read_range("/missing", 0, 1), InvalidArgument);
+}
+
+TEST(PfsRead, PricingIsSymmetricWithAppends) {
+  // Reads pay open/metadata once per open and a per-touched-stripe RPC —
+  // the same mechanism appends pay — instead of a flat whole-file cost.
+  PfsSimulator pfs;
+  const std::size_t stripe = pfs.config().stripe_size;
+  pfs.write_file("/sym", random_bytes(4 * stripe, 13), 1);
+
+  // An opened ranged fetch within one stripe: one RPC + transfer.
+  const auto one = pfs.read_range("/sym", 10, 1000, 1, /*pay_open=*/false);
+  EXPECT_NEAR(one.cost.seconds,
+              pfs.config().rpc_latency_s + 1000.0 / one.cost.effective_bw_bps,
+              1e-12);
+  // The same extent across a stripe boundary: two RPCs.
+  const auto two =
+      pfs.read_range("/sym", stripe - 500, 1000, 1, /*pay_open=*/false);
+  EXPECT_NEAR(two.cost.seconds - one.cost.seconds, pfs.config().rpc_latency_s,
+              1e-12);
+  // A fresh open adds exactly the open/metadata charge.
+  const auto opened = pfs.read_range("/sym", 10, 1000, 1, /*pay_open=*/true);
+  EXPECT_NEAR(opened.cost.seconds - one.cost.seconds,
+              pfs.config().open_latency_s + pfs.config().mds_service_s,
+              1e-12);
+}
+
+TEST(PfsRead, StreamPaysOpenOnce) {
+  PfsSimulator pfs;
+  pfs.write_file("/st", random_bytes(1u << 20, 14), 1);
+  auto stream = pfs.open_read("/st");
+  EXPECT_EQ(stream.size(), 1u << 20);
+  const auto first = stream.read(0, 4096);
+  const auto second = stream.read(4096, 4096);
+  // Identical extents, but only the first fetch paid the open.
+  EXPECT_GT(first.cost.seconds, second.cost.seconds);
+  EXPECT_NEAR(first.cost.seconds - second.cost.seconds,
+              pfs.config().open_latency_s + pfs.config().mds_service_s,
+              1e-12);
+  EXPECT_EQ(stream.bytes_read(), 8192u);
+  EXPECT_NEAR(stream.seconds_total(), first.cost.seconds + second.cost.seconds,
+              1e-12);
+  EXPECT_THROW(pfs.open_read("/missing"), InvalidArgument);
+}
+
+TEST(PfsRead, WholeFileReadCostCountsStripes) {
+  // read_cost = open + one RPC per stripe + transfer, matching what the
+  // stripes-touched accounting of an equivalent append sequence paid.
+  PfsSimulator pfs;
+  const std::size_t stripe = pfs.config().stripe_size;
+  pfs.write_file("/wf", random_bytes(5 * stripe + 100, 15), 1);
+  const auto cost = pfs.read_cost("/wf", 1);
+  const double expected =
+      pfs.config().open_latency_s + pfs.config().mds_service_s +
+      6 * pfs.config().rpc_latency_s +
+      static_cast<double>(5 * stripe + 100) / cost.effective_bw_bps;
+  EXPECT_NEAR(cost.seconds, expected, 1e-12);
+}
+
+TEST(PfsRead, ReaderRegistryTracksScopes) {
+  PfsSimulator pfs;
+  EXPECT_EQ(pfs.concurrent_readers(), 0);
+  {
+    PfsSimulator::ReaderScope a(pfs, 3);
+    EXPECT_EQ(pfs.concurrent_readers(), 3);
+    {
+      PfsSimulator::ReaderScope b(pfs, 2);
+      EXPECT_EQ(pfs.concurrent_readers(), 5);
+    }
+    EXPECT_EQ(pfs.concurrent_readers(), 3);
+  }
+  EXPECT_EQ(pfs.concurrent_readers(), 0);
+  EXPECT_EQ(pfs.peak_concurrent_readers(), 5);
+  pfs.reset_reader_peak();
+  EXPECT_EQ(pfs.peak_concurrent_readers(), 0);
+  EXPECT_THROW(PfsSimulator::ReaderScope(pfs, 0), InvalidArgument);
 }
 
 TEST(Pfs, RejectsBadConfig) {
