@@ -198,4 +198,95 @@ void print_grid_summary(const GridRunSummary& s) {
   }
 }
 
+
+// --- JSON emission ---------------------------------------------------------
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+JsonObject& JsonObject::set(const std::string& key, double value) {
+  entries_.emplace_back(key, json_number(value));
+  nested_.push_back(false);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, std::uint64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+  nested_.push_back(false);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
+  nested_.push_back(false);
+  return *this;
+}
+
+JsonObject& JsonObject::set(const std::string& key, const JsonObject& value) {
+  entries_.emplace_back(key, value.dump(0));
+  nested_.push_back(true);
+  return *this;
+}
+
+std::string JsonObject::dump(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent) + 2, ' ');
+  std::string out = "{";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += inner_pad + "\"" + json_escape(entries_[i].first) + "\": ";
+    if (nested_[i]) {
+      // Re-indent the nested object's lines under this key.
+      const std::string& body = entries_[i].second;
+      std::string shifted;
+      for (std::size_t p = 0; p < body.size(); ++p) {
+        shifted += body[p];
+        if (body[p] == '\n' && p + 1 < body.size()) shifted += inner_pad;
+      }
+      out += shifted;
+    } else {
+      out += entries_[i].second;
+    }
+  }
+  out += entries_.empty() ? "}" : "\n" + pad + "}";
+  return out;
+}
+
+bool write_json_file(const std::string& path, const JsonObject& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string body = json.dump(0) + "\n";
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 }  // namespace eblcio::bench

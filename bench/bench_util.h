@@ -157,6 +157,32 @@ namespace detail {
 std::string join_fragment(const std::vector<std::string>& fragment);
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable bench output: a minimal insertion-ordered JSON builder.
+// ---------------------------------------------------------------------------
+
+// Tiny JSON object builder for BENCH_*.json emission (micro_codecs writes
+// BENCH_codecs.json through it; the perf-regression smoke in CI diffs that
+// file against bench/baselines/). Keys keep insertion order so diffs stay
+// readable; values are numbers, strings, or nested objects.
+class JsonObject {
+ public:
+  JsonObject& set(const std::string& key, double value);
+  JsonObject& set(const std::string& key, std::uint64_t value);
+  JsonObject& set(const std::string& key, const std::string& value);
+  JsonObject& set(const std::string& key, const JsonObject& value);
+
+  // Renders with 2-space indentation and a trailing newline at top level.
+  std::string dump(int indent = 0) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;  // pre-rendered
+  std::vector<bool> nested_;  // entry renders as an object (re-indented)
+};
+
+// Writes `json.dump()` to `path` (truncating). Returns false on I/O error.
+bool write_json_file(const std::string& path, const JsonObject& json);
+
 // The one driver every grid bench runs through.
 //
 // Executes `eval(cell, ctx)` over the whole domain on the sweep engine

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Fail CI when a codec kernel regresses against the checked-in baseline.
+
+Compares a fresh BENCH_codecs.json (written by bench_micro_codecs) against
+bench/baselines/BENCH_codecs.json. Raw MB/s is machine-dependent, so each
+kernel's throughput is first normalized by a same-run calibration row
+before comparison; the check is on the ratio of normalized throughputs:
+
+    current_norm / baseline_norm  >=  1 - tolerance
+
+The gating kernel huffman_decode normalizes against the in-binary
+reference decoder (huffman_decode_reference) — both run the identical
+payload in the same process seconds apart, which cancels machine and
+noisy-neighbour variance far better than a bandwidth row can. Because the
+reference decoder shares the BitReader substrate (a regression there
+would slow both and hide in the ratio), a second, looser memcpy-normalized
+gate (tolerance 0.6) backstops substrate-wide slowdowns. All other
+kernels normalize against `memcpy` for the informational report.
+
+Only kernels listed via --kernel (default: huffman_decode) gate the build;
+everything else is reported for the artifact log. To refresh the baseline
+after an intentional perf change:
+
+    ./build/bench_micro_codecs --reps=7 --json=bench/baselines/BENCH_codecs.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def throughput(kernels: dict, name: str) -> float:
+    k = kernels.get(name)
+    if k is None:
+        raise SystemExit(f"kernel '{name}' missing from bench output")
+    v = k.get("msyms_per_s", k.get("mbps"))
+    if not v or v <= 0:
+        raise SystemExit(f"kernel '{name}' has no throughput value")
+    return float(v)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_codecs.json")
+    ap.add_argument("--current", default="BENCH_codecs.json")
+    ap.add_argument("--kernel", action="append", default=None,
+                    help="gating kernel(s); default huffman_decode")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed normalized-throughput drop (default 0.25)")
+    args = ap.parse_args()
+    gates = args.kernel or ["huffman_decode"]
+
+    with open(args.baseline) as f:
+        base = json.load(f)["kernels"]
+    with open(args.current) as f:
+        cur = json.load(f)["kernels"]
+
+    normalizers = {"huffman_decode": "huffman_decode_reference"}
+    # Backstop: the primary normalizer shares the bitstream substrate with
+    # the gated kernel, so a substrate-wide slowdown cancels out of the
+    # tight ratio; this looser memcpy-normalized bound still catches it.
+    backstop_tolerance = 0.6
+
+    def norm(kernels, name, cal):
+        return throughput(kernels, name) / throughput(kernels, cal)
+
+    print(f"{'kernel':<26} {'base':>10} {'current':>10} {'norm-ratio':>10}")
+    failures = []
+    for name in sorted(set(base) | set(cur)):
+        if name == "memcpy" or name not in base or name not in cur:
+            continue
+        cal = normalizers.get(name, "memcpy")
+        ratio = norm(cur, name, cal) / norm(base, name, cal)
+        gate = name in gates
+        status = ""
+        if gate:
+            ok = ratio >= 1.0 - args.tolerance
+            if ok and cal != "memcpy":
+                loose = (norm(cur, name, "memcpy") /
+                         norm(base, name, "memcpy"))
+                if loose < 1.0 - backstop_tolerance:
+                    ok = False
+                    ratio = loose
+            status = "  OK" if ok else "  REGRESSION"
+            if not ok:
+                failures.append((name, ratio))
+        print(f"{name:<26} {throughput(base, name):>10.1f} "
+              f"{throughput(cur, name):>10.1f} {ratio:>10.2f}{status}")
+
+    if failures:
+        for name, ratio in failures:
+            print(f"FAIL: {name} normalized throughput at {ratio:.2f}x of "
+                  f"baseline (tolerance {1 - args.tolerance:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print("perf baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,10 +5,17 @@
 // pair. Bits are packed LSB-first into little-endian 64-bit words, the same
 // convention as the reference ZFP stream, so sub-bit-budget truncation
 // behaves identically.
+//
+// The reader keeps a 64-bit refill accumulator over the byte buffer: a
+// single refill() tops the accumulator up to >= 57 valid bits (one 8-byte
+// load in the interior of the stream), after which peek_bits()/consume()
+// are branch-light shifts. The table-driven Huffman decoder leans on this
+// to decode several symbols per refill; see src/codec/README.md.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <vector>
 
@@ -45,6 +52,10 @@ class BitWriter {
     }
   }
 
+  // Pre-sizes the word buffer for a stream of ~`n` bits, so bulk encoders
+  // (Huffman) pay no vector regrowth in the emit loop.
+  void reserve_bits(std::size_t n) { words_.reserve(n / 64 + 1); }
+
   // Total bits written so far.
   std::size_t bit_count() const { return words_.size() * 64 + nbits_; }
 
@@ -59,45 +70,114 @@ class BitWriter {
 
 class BitReader {
  public:
+  // Largest `n` accepted by peek_bits(): refill() guarantees at least 57
+  // valid accumulator bits while payload remains.
+  static constexpr int kPeekMax = 56;
+
   explicit BitReader(std::span<const std::byte> data) : data_(data) {}
 
   // Reads one bit; returns 0 past end-of-stream (matching ZFP's zero-padded
   // stream semantics, which the embedded coder relies on).
   std::uint32_t get_bit() {
-    if (pos_ >= data_.size() * 8) {
-      ++pos_;
-      return 0;
-    }
-    const std::size_t byte = pos_ >> 3;
-    const int bit = static_cast<int>(pos_ & 7);
-    ++pos_;
-    return (static_cast<std::uint32_t>(data_[byte]) >> bit) & 1u;
+    refill();
+    const auto v = static_cast<std::uint32_t>(acc_ & 1u);
+    drop(1);
+    return v;
   }
 
   // Reads `n` bits LSB-first. Past-end bits read as zero.
   std::uint64_t get_bits(int n) {
     EBLCIO_CHECK_ARG(n >= 0 && n <= 64, "bit count out of range");
-    std::uint64_t v = 0;
-    int got = 0;
-    // Fast path: whole bytes while fully inside the buffer.
-    while (n - got >= 8 && (pos_ & 7) == 0 && (pos_ >> 3) + 1 <= data_.size()) {
-      v |= static_cast<std::uint64_t>(data_[pos_ >> 3]) << got;
-      pos_ += 8;
-      got += 8;
+    if (n == 0) return 0;
+    if (n <= kPeekMax) {
+      refill();
+      const std::uint64_t v = acc_ & mask(n);
+      drop(n);
+      return v;
     }
-    for (; got < n; ++got)
-      v |= static_cast<std::uint64_t>(get_bit()) << got;
-    if (n < 64) v &= (std::uint64_t{1} << n) - 1;
+    // 57..64 bits: two accumulator windows.
+    refill();
+    std::uint64_t v = acc_ & mask(32);
+    drop(32);
+    refill();
+    v |= (acc_ & mask(n - 32)) << 32;
+    drop(n - 32);
     return v;
   }
+
+  // Returns the next `n` bits (n in [0, kPeekMax]) without consuming them.
+  // Past-end bits peek as zero.
+  std::uint64_t peek_bits(int n) {
+    EBLCIO_CHECK_ARG(n >= 0 && n <= kPeekMax, "peek width out of range");
+    refill();
+    return acc_ & mask(n);
+  }
+
+  // Consumes `n` bits (n in [0, 64]). Consuming past end-of-stream is
+  // permitted and advances bit_pos() like get_bit(). Beyond 57 bits, `n`
+  // must not exceed what a refill can buffer plus the zero padding — i.e.
+  // consume at most what bits_buffered() reported after the matching
+  // refill_acc()/peek_bits() (the only way to have seen those bits).
+  void consume(int n) {
+    EBLCIO_CHECK_ARG(n >= 0 && n <= 64, "consume width out of range");
+    refill();
+    EBLCIO_CHECK_ARG(n <= navail_ || next_byte_ >= data_.size(),
+                     "consume beyond buffered bits");
+    drop(n);
+  }
+
+  // Tops up the accumulator and returns it raw: bits_buffered() low bits
+  // are valid payload, everything above reads zero. A table-driven decoder
+  // pulls several symbols out of one returned word — shifting a local copy
+  // and calling consume() once with the total — so the refill branch and
+  // position bookkeeping amortize across the batch.
+  std::uint64_t refill_acc() {
+    refill();
+    return acc_;
+  }
+  int bits_buffered() const { return navail_; }
 
   std::size_t bit_pos() const { return pos_; }
   // True once reads have consumed (or run past) all real payload bits.
   bool exhausted() const { return pos_ >= data_.size() * 8; }
 
  private:
+  static std::uint64_t mask(int n) {
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  }
+
+  // Tops the accumulator up to >= 57 valid bits (all remaining payload bits
+  // near end-of-stream). One unaligned 8-byte load in the interior.
+  void refill() {
+    if (navail_ > kPeekMax) return;
+    if (next_byte_ + 8 <= data_.size()) {
+      std::uint64_t w;
+      std::memcpy(&w, data_.data() + next_byte_, 8);
+      acc_ |= w << navail_;
+      const int take = (64 - navail_) >> 3;
+      next_byte_ += static_cast<std::size_t>(take);
+      navail_ += take * 8;
+    } else {
+      while (navail_ <= kPeekMax && next_byte_ < data_.size()) {
+        acc_ |= static_cast<std::uint64_t>(data_[next_byte_++]) << navail_;
+        navail_ += 8;
+      }
+    }
+  }
+
+  // Advances by `n` bits; past-end bits are virtual zeros (acc_ holds zeros
+  // above navail_, so shifted-in bits are already zero).
+  void drop(int n) {
+    acc_ = n >= 64 ? 0 : acc_ >> n;
+    navail_ -= std::min(n, navail_);
+    pos_ += static_cast<std::size_t>(n);
+  }
+
   std::span<const std::byte> data_;
-  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;  // next unread bits, LSB first
+  int navail_ = 0;         // valid bits in acc_
+  std::size_t next_byte_ = 0;  // first byte not yet in acc_
+  std::size_t pos_ = 0;        // bits consumed (including past-end zeros)
 };
 
 }  // namespace eblcio

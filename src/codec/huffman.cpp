@@ -184,6 +184,96 @@ std::vector<std::uint8_t> read_lengths_rle(ByteReader& r,
   return lengths;
 }
 
+// Parsed blob header plus the canonical decode tables both decoders share.
+struct DecodeSetup {
+  std::uint64_t count = 0;
+  std::uint32_t alphabet_size = 0;
+  std::vector<std::uint8_t> lengths;
+  std::span<const std::byte> payload;
+  // Symbols ordered by (length, symbol) — canonical index order.
+  std::vector<std::uint32_t> order;
+  std::array<std::uint64_t, kMaxHuffmanBits + 2> first_code{};
+  std::array<std::uint32_t, kMaxHuffmanBits + 2> first_index{};
+  std::array<std::uint32_t, kMaxHuffmanBits + 2> num_codes{};
+  int max_len = 0;
+};
+
+DecodeSetup decode_setup(std::span<const std::byte> blob) {
+  DecodeSetup s;
+  ByteReader r(blob);
+  s.count = r.read_pod<std::uint64_t>();
+  s.alphabet_size = r.read_pod<std::uint32_t>();
+  s.lengths = read_lengths_rle(r, s.alphabet_size);
+  const auto payload_size = r.read_pod<std::uint64_t>();
+  s.payload = r.read_bytes(payload_size);
+  // Every legitimate symbol costs at least one payload bit; a corrupt
+  // count must not drive a giant allocation below. Computed as a byte
+  // floor so the comparison cannot overflow for counts near UINT64_MAX.
+  const std::uint64_t min_bytes = s.count / 8 + (s.count % 8 != 0 ? 1 : 0);
+  EBLCIO_CHECK_STREAM(min_bytes <= s.payload.size(),
+                      "huffman symbol count exceeds payload");
+
+  std::size_t npresent = 0;
+  for (std::uint32_t sym = 0; sym < s.alphabet_size; ++sym)
+    if (s.lengths[sym] > 0) ++npresent;
+  s.order.reserve(npresent);
+  for (std::uint32_t sym = 0; sym < s.alphabet_size; ++sym)
+    if (s.lengths[sym] > 0) s.order.push_back(sym);
+  std::sort(s.order.begin(), s.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (s.lengths[a] != s.lengths[b])
+                return s.lengths[a] < s.lengths[b];
+              return a < b;
+            });
+
+  for (std::uint32_t sym : s.order) {
+    ++s.num_codes[s.lengths[sym]];
+    s.max_len = std::max<int>(s.max_len, s.lengths[sym]);
+  }
+  std::uint64_t code = 0;
+  std::uint32_t idx = 0;
+  for (int len = 1; len <= kMaxHuffmanBits; ++len) {
+    s.first_code[len] = code;
+    s.first_index[len] = idx;
+    code = (code + s.num_codes[len]) << 1;
+    idx += s.num_codes[len];
+  }
+  return s;
+}
+
+// Per-bit canonical decode of one symbol; shared by the reference decoder
+// and the LUT decoder's long-code fallback. Throws on invalid codes.
+std::uint32_t decode_symbol_slow(const DecodeSetup& s, BitReader& br) {
+  std::uint64_t code = 0;
+  int len = 0;
+  for (;;) {
+    EBLCIO_CHECK_STREAM(len < kMaxHuffmanBits, "invalid huffman code");
+    code = (code << 1) | br.get_bit();
+    ++len;
+    if (s.num_codes[len] > 0 &&
+        code < s.first_code[len] + s.num_codes[len]) {
+      EBLCIO_CHECK_STREAM(code >= s.first_code[len], "invalid huffman code");
+      return s.order[s.first_index[len] + (code - s.first_code[len])];
+    }
+  }
+}
+
+// True for the degenerate streams both decoders shortcut identically;
+// `*result` receives the decoded stream when so.
+bool decode_degenerate(const DecodeSetup& s,
+                       std::vector<std::uint32_t>* result) {
+  if (s.count == 0) {
+    result->clear();
+    return true;
+  }
+  EBLCIO_CHECK_STREAM(!s.order.empty(), "huffman stream with empty alphabet");
+  if (s.order.size() == 1) {
+    result->assign(s.count, s.order[0]);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols,
@@ -200,9 +290,30 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
   append_pod<std::uint32_t>(out, alphabet_size);
   write_lengths_rle(out, cc.lengths);
 
+  // Emit through precomputed bit-reversed codes: the per-occurrence cost is
+  // one table load plus one word-buffered put_bits (reversing inside the
+  // emit loop would cost O(code length) per symbol occurrence). Code and
+  // length pack into one 8-byte entry — codes are at most kMaxHuffmanBits
+  // wide — so each emitted symbol touches a single table line.
+  struct EmitEntry {
+    std::uint32_t code;  // bit-reversed, LSB-first
+    std::uint32_t len;
+  };
+  std::vector<EmitEntry> emit(cc.codes.size(), EmitEntry{0, 0});
+  std::size_t total_bits = 0;
+  for (std::uint32_t s = 0; s < cc.codes.size(); ++s) {
+    if (cc.lengths[s] == 0) continue;
+    emit[s] = {static_cast<std::uint32_t>(
+                   reverse_bits(cc.codes[s], cc.lengths[s])),
+               cc.lengths[s]};
+    total_bits += freqs[s] * cc.lengths[s];
+  }
   BitWriter bw;
-  for (std::uint32_t s : symbols)
-    bw.put_bits(reverse_bits(cc.codes[s], cc.lengths[s]), cc.lengths[s]);
+  bw.reserve_bits(total_bits);
+  for (std::uint32_t s : symbols) {
+    const EmitEntry e = emit[s];
+    bw.put_bits(e.code, static_cast<int>(e.len));
+  }
   Bytes payload = bw.take();
   append_pod<std::uint64_t>(out, payload.size());
   append_bytes(out, payload);
@@ -210,69 +321,87 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
 }
 
 std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
-  ByteReader r(blob);
-  const auto count = r.read_pod<std::uint64_t>();
-  const auto alphabet_size = r.read_pod<std::uint32_t>();
-  auto lengths = read_lengths_rle(r, alphabet_size);
-  const auto payload_size = r.read_pod<std::uint64_t>();
-  auto payload = r.read_bytes(payload_size);
-  // Every legitimate symbol costs at least one payload bit; a corrupt
-  // count must not drive a giant allocation below.
-  EBLCIO_CHECK_STREAM(count <= payload.size() * 8,
-                      "huffman symbol count exceeds payload");
-
-  // Canonical decode tables: first code and first symbol index per length.
-  std::vector<std::uint32_t> order;
-  for (std::uint32_t s = 0; s < alphabet_size; ++s)
-    if (lengths[s] > 0) order.push_back(s);
-  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
-    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
-    return a < b;
-  });
-
+  const DecodeSetup s = decode_setup(blob);
   std::vector<std::uint32_t> result;
-  result.reserve(count);
-  if (count == 0) return result;
-  EBLCIO_CHECK_STREAM(!order.empty(), "huffman stream with empty alphabet");
-  if (order.size() == 1) {
-    result.assign(count, order[0]);
-    return result;
-  }
+  result.reserve(s.count);
+  if (decode_degenerate(s, &result)) return result;
 
-  std::array<std::uint64_t, kMaxHuffmanBits + 2> first_code{};
-  std::array<std::uint32_t, kMaxHuffmanBits + 2> first_index{};
-  std::array<std::uint32_t, kMaxHuffmanBits + 2> num_codes{};
-  for (std::uint32_t idx = 0; idx < order.size(); ++idx)
-    ++num_codes[lengths[order[idx]]];
-  {
-    std::uint64_t code = 0;
-    std::uint32_t idx = 0;
-    for (int len = 1; len <= kMaxHuffmanBits; ++len) {
-      first_code[len] = code;
-      first_index[len] = idx;
-      code = (code + num_codes[len]) << 1;
-      idx += num_codes[len];
-    }
-  }
-
-  BitReader br(payload);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    std::uint64_t code = 0;
-    int len = 0;
+  // Single-level lookup table over the next kHuffmanLutBits stream bits:
+  // codes no longer than the table width decode with one peek + one load;
+  // longer (rare) codes and invalid prefixes fall into the per-bit
+  // canonical walk, which also carries the corrupt-stream checks. Entries
+  // whose prefix extends a long code — or no code at all — keep len == 0.
+  struct LutEntry {
     std::uint32_t sym = 0;
-    for (;;) {
-      EBLCIO_CHECK_STREAM(len < kMaxHuffmanBits, "invalid huffman code");
-      code = (code << 1) | br.get_bit();
-      ++len;
-      if (num_codes[len] > 0 &&
-          code < first_code[len] + num_codes[len]) {
-        EBLCIO_CHECK_STREAM(code >= first_code[len], "invalid huffman code");
-        sym = order[first_index[len] + (code - first_code[len])];
+    std::uint8_t len = 0;  // 0 => not decodable within the table width
+  };
+  // Fixed table width so the peek mask is a compile-time constant in the
+  // decode loop; short codes replicate across the unused high index bits.
+  std::vector<LutEntry> lut(std::size_t{1} << kHuffmanLutBits);
+  for (std::uint32_t idx = 0; idx < s.order.size(); ++idx) {
+    const std::uint32_t sym = s.order[idx];
+    const int len = s.lengths[sym];
+    if (len > kHuffmanLutBits) break;  // order is sorted by length
+    const std::uint64_t code =
+        s.first_code[len] + (idx - s.first_index[len]);
+    const std::uint64_t rev = reverse_bits(code, len);
+    // The code occupies the low `len` stream bits; every setting of the
+    // remaining high table bits maps to the same symbol.
+    for (std::uint64_t hi = 0;
+         hi < (std::uint64_t{1} << (kHuffmanLutBits - len)); ++hi)
+      lut[rev | (hi << len)] = {sym, static_cast<std::uint8_t>(len)};
+  }
+
+  result.resize(s.count);
+  std::uint32_t* dst = result.data();
+  const std::uint64_t lut_mask = (std::uint64_t{1} << kHuffmanLutBits) - 1;
+  BitReader br(s.payload);
+  std::uint64_t i = 0;
+  while (i < s.count) {
+    // One refill covers a batch of short codes: shift a local accumulator
+    // copy and commit the consumed total once, so the per-symbol work is a
+    // table load plus a shift.
+    std::uint64_t acc = br.refill_acc();
+    const int avail = br.bits_buffered();
+    if (avail < kHuffmanLutBits) {
+      // End-of-stream tail: the zero-padded peek path handles short reads.
+      const LutEntry e = lut[br.peek_bits(kHuffmanLutBits)];
+      if (e.len != 0) {
+        br.consume(e.len);
+        dst[i++] = e.sym;
+      } else {
+        dst[i++] = decode_symbol_slow(s, br);
+      }
+      continue;
+    }
+    int consumed = 0;
+    bool long_code = false;
+    while (i < s.count && consumed + kHuffmanLutBits <= avail) {
+      const LutEntry e = lut[acc & lut_mask];
+      if (e.len == 0) {
+        long_code = true;
         break;
       }
+      acc >>= e.len;
+      consumed += e.len;
+      dst[i++] = e.sym;
     }
-    result.push_back(sym);
+    br.consume(consumed);
+    if (long_code) dst[i++] = decode_symbol_slow(s, br);
   }
+  return result;
+}
+
+std::vector<std::uint32_t> huffman_decode_reference(
+    std::span<const std::byte> blob) {
+  const DecodeSetup s = decode_setup(blob);
+  std::vector<std::uint32_t> result;
+  result.reserve(s.count);
+  if (decode_degenerate(s, &result)) return result;
+
+  BitReader br(s.payload);
+  for (std::uint64_t i = 0; i < s.count; ++i)
+    result.push_back(decode_symbol_slow(s, br));
   return result;
 }
 

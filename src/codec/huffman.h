@@ -21,6 +21,12 @@ namespace eblcio {
 // limit are flattened with a Kraft-sum fix-up.
 inline constexpr int kMaxHuffmanBits = 32;
 
+// Width of the single-level decode lookup table: codes up to this length
+// (the overwhelming majority on SZ-style quantization-code streams) decode
+// with one table load; longer codes fall back to the canonical per-bit
+// walk. Must not exceed BitReader::kPeekMax.
+inline constexpr int kHuffmanLutBits = 11;
+
 // Computes canonical code lengths for `freqs` (index = symbol). Zero
 // frequency yields length 0 (symbol absent).
 std::vector<std::uint8_t> huffman_code_lengths(
@@ -30,7 +36,13 @@ std::vector<std::uint8_t> huffman_code_lengths(
 Bytes huffman_encode(std::span<const std::uint32_t> symbols,
                      std::uint32_t alphabet_size);
 
-// Decodes a blob produced by huffman_encode.
+// Decodes a blob produced by huffman_encode (table-driven fast path).
 std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob);
+
+// Per-bit canonical reference decoder over the same blob format. Kept as
+// the differential-testing referee for the table-driven decoder (and as
+// readable documentation of the canonical walk); not used on any hot path.
+std::vector<std::uint32_t> huffman_decode_reference(
+    std::span<const std::byte> blob);
 
 }  // namespace eblcio

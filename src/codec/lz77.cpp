@@ -1,8 +1,10 @@
 #include "codec/lz77.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "codec/huffman.h"
@@ -21,80 +23,35 @@ inline std::uint32_t hash4(const std::byte* p) {
   return (v * 2654435761u) >> 17;  // 15-bit hash
 }
 
+// Length of the common prefix of a and b, capped at max_len, compared a
+// word at a time. Callers guarantee both spans extend max_len bytes.
+inline std::size_t match_length(const std::byte* a, const std::byte* b,
+                                std::size_t max_len) {
+  std::size_t len = 0;
+  while (len + 8 <= max_len) {
+    std::uint64_t x, y;
+    std::memcpy(&x, a + len, 8);
+    std::memcpy(&y, b + len, 8);
+    const std::uint64_t diff = x ^ y;
+    if (diff != 0)
+      return len + (static_cast<std::size_t>(std::countr_zero(diff)) >> 3);
+    len += 8;
+  }
+  while (len < max_len && a[len] == b[len]) ++len;
+  return len;
+}
+
 struct Token {
   std::uint32_t literal_run;
   std::uint32_t match_len;  // 0 on the final token if input ends in literals
   std::uint32_t dist;
 };
 
-}  // namespace
-
-Bytes lz_compress(std::span<const std::byte> data, const LzOptions& opt) {
-  constexpr std::size_t kHashSize = 1u << 15;
-  const std::size_t n = data.size();
-
-  std::vector<std::int64_t> head(kHashSize, -1);
-  std::vector<std::int64_t> prev(n > 0 ? n : 1, -1);
-
-  std::vector<Token> tokens;
-  Bytes literals;
-  literals.reserve(n / 4);
-
-  std::size_t pos = 0;
-  std::size_t lit_start = 0;
-  while (pos < n) {
-    std::size_t best_len = 0;
-    std::size_t best_dist = 0;
-    if (pos + 4 <= n) {
-      const std::uint32_t h = hash4(data.data() + pos);
-      const std::int64_t old_head = head[h];
-      std::int64_t cand = old_head;
-      int probes = opt.max_probes;
-      while (cand >= 0 && probes-- > 0 &&
-             pos - static_cast<std::size_t>(cand) <= opt.window) {
-        const std::size_t c = static_cast<std::size_t>(cand);
-        // Quick reject on first byte beyond current best.
-        if (best_len == 0 || (c + best_len < n && pos + best_len < n &&
-                              data[c + best_len] == data[pos + best_len])) {
-          std::size_t len = 0;
-          const std::size_t max_len =
-              std::min<std::size_t>(kMaxMatch, n - pos);
-          while (len < max_len && data[c + len] == data[pos + len]) ++len;
-          if (len > best_len) {
-            best_len = len;
-            best_dist = pos - c;
-          }
-        }
-        cand = prev[c];
-      }
-      head[h] = static_cast<std::int64_t>(pos);
-      prev[pos] = old_head;
-    }
-    if (best_len >= static_cast<std::size_t>(opt.min_match)) {
-      tokens.push_back({static_cast<std::uint32_t>(pos - lit_start),
-                        static_cast<std::uint32_t>(best_len),
-                        static_cast<std::uint32_t>(best_dist)});
-      literals.insert(literals.end(), data.begin() + lit_start,
-                      data.begin() + pos);
-      // Insert hash entries inside the match (sparsely, for speed).
-      const std::size_t end = pos + best_len;
-      for (std::size_t p = pos + 1; p + 4 <= n && p < end; p += 2) {
-        const std::uint32_t h = hash4(data.data() + p);
-        prev[p] = head[h];
-        head[h] = static_cast<std::int64_t>(p);
-      }
-      pos = end;
-      lit_start = pos;
-    } else {
-      ++pos;
-    }
-  }
-  if (lit_start < n || tokens.empty()) {
-    tokens.push_back({static_cast<std::uint32_t>(n - lit_start), 0, 0});
-    literals.insert(literals.end(), data.begin() + lit_start, data.end());
-  }
-
-  // Entropy-code the literal bytes; varint the token stream.
+// Serializes the found tokens + literals into the wire format (unchanged
+// since the first version of this codec: header, Huffman-coded literal
+// bytes, varint token stream).
+Bytes emit_blob(std::size_t n, const std::vector<Token>& tokens,
+                const Bytes& literals) {
   std::vector<std::uint32_t> lit_syms(literals.size());
   for (std::size_t i = 0; i < literals.size(); ++i)
     lit_syms[i] = static_cast<std::uint8_t>(literals[i]);
@@ -114,6 +71,173 @@ Bytes lz_compress(std::span<const std::byte> data, const LzOptions& opt) {
   return out;
 }
 
+// The shared greedy tokenizer: `find` is the per-position match search,
+// returning the best (len, dist) under the original chain semantics —
+// candidates in recency order, a fixed probe budget, strictly-improving
+// acceptance — and `insert` adds one position to the search structure.
+// Both matchers below plug into this loop, so their token streams are
+// identical by construction.
+template <typename Find, typename Insert>
+Bytes tokenize(std::span<const std::byte> data, const LzOptions& opt,
+               Find find, Insert insert) {
+  const std::size_t n = data.size();
+  std::vector<Token> tokens;
+  Bytes literals;
+  literals.reserve(n / 4);
+
+  std::size_t pos = 0;
+  std::size_t lit_start = 0;
+  while (pos < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (pos + 4 <= n) find(pos, &best_len, &best_dist);
+    if (best_len >= static_cast<std::size_t>(opt.min_match)) {
+      tokens.push_back({static_cast<std::uint32_t>(pos - lit_start),
+                        static_cast<std::uint32_t>(best_len),
+                        static_cast<std::uint32_t>(best_dist)});
+      literals.insert(literals.end(), data.begin() + lit_start,
+                      data.begin() + pos);
+      // Insert hash entries inside the match (sparsely, for speed).
+      const std::size_t end = pos + best_len;
+      for (std::size_t p = pos + 1; p + 4 <= n && p < end; p += 2) insert(p);
+      pos = end;
+      lit_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  if (lit_start < n || tokens.empty()) {
+    tokens.push_back({static_cast<std::uint32_t>(n - lit_start), 0, 0});
+    literals.insert(literals.end(), data.begin() + lit_start, data.end());
+  }
+  return emit_blob(n, tokens, literals);
+}
+
+// Evaluates candidate `c` against position `pos` exactly as the original
+// chain walk did. Two exact rejects skip the full extension without
+// affecting the output: (a) a mismatch one byte past the current best
+// proves len <= best_len; (b) when min_match >= 4, a first-4-bytes
+// mismatch proves the candidate is a hash collision that cannot reach
+// min_match (sub-minimum best_len updates only ever gate which later
+// candidates get *evaluated*, never which match is finally emitted).
+inline void consider_candidate(const std::byte* base, std::size_t n,
+                               std::size_t pos, std::size_t c,
+                               std::size_t max_len, bool prefix_reject,
+                               std::uint32_t pos4, std::size_t* best_len,
+                               std::size_t* best_dist) {
+  if (prefix_reject) {
+    std::uint32_t c4;
+    std::memcpy(&c4, base + c, 4);
+    if (c4 != pos4) return;
+  }
+  if (*best_len != 0 && !(c + *best_len < n && pos + *best_len < n &&
+                          base[c + *best_len] == base[pos + *best_len]))
+    return;
+  // max_len <= n - pos < n - c, so both sides extend max_len bytes.
+  const std::size_t len = match_length(base + c, base + pos, max_len);
+  if (len > *best_len) {
+    *best_len = len;
+    *best_dist = pos - c;
+  }
+}
+
+// Match finder for windows up to 64 KiB (every in-tree caller): successor
+// links are 16-bit gaps, so the chain working set stays small enough to be
+// cache-resident. A gap that cannot be represented would land out of the
+// window for every position that still reaches its predecessor, so the
+// sentinel is exactly equivalent to following the link and failing the
+// window check.
+Bytes compress_small_window(std::span<const std::byte> data,
+                            const LzOptions& opt) {
+  constexpr std::size_t kHashSize = 1u << 15;
+  constexpr std::size_t kNil = std::numeric_limits<std::size_t>::max();
+  constexpr std::uint16_t kFarGap = 0xFFFF;  // no (reachable) predecessor
+  const std::size_t n = data.size();
+  const std::byte* base = data.data();
+  const bool prefix_reject = opt.min_match >= 4;
+
+  std::vector<std::size_t> head(kHashSize, kNil);
+  std::vector<std::uint16_t> gap(n > 0 ? n : 1, kFarGap);
+
+  const auto link = [&](std::size_t p, std::size_t predecessor) {
+    // Stored as gap-1: representable predecessor gaps are 1..65535, and a
+    // larger gap is unreachable within the <= 65536-byte window anyway.
+    if (predecessor == kNil || p - predecessor > 0xFFFF) return;
+    gap[p] = static_cast<std::uint16_t>(p - predecessor - 1);
+  };
+  const auto insert = [&](std::size_t p) {
+    const std::uint32_t h = hash4(base + p);
+    link(p, head[h]);
+    head[h] = p;
+  };
+  const auto find = [&](std::size_t pos, std::size_t* best_len,
+                        std::size_t* best_dist) {
+    const std::uint32_t h = hash4(base + pos);
+    std::uint32_t pos4;
+    std::memcpy(&pos4, base + pos, 4);
+    const std::size_t max_len = std::min<std::size_t>(kMaxMatch, n - pos);
+    std::size_t c = head[h];
+    int probes = opt.max_probes;
+    while (c != kNil && probes-- > 0 && pos - c <= opt.window) {
+      consider_candidate(base, n, pos, c, max_len, prefix_reject, pos4,
+                         best_len, best_dist);
+      const std::uint16_t g = gap[c];
+      c = (g == kFarGap) ? kNil : c - g - 1;
+    }
+    link(pos, head[h]);
+    head[h] = pos;
+  };
+  return tokenize(data, opt, find, insert);
+}
+
+// General match finder: absolute predecessor indices (uint32_t up to 4 GiB
+// inputs, uint64_t beyond), identical search semantics.
+template <typename Index>
+Bytes compress_indexed(std::span<const std::byte> data, const LzOptions& opt) {
+  constexpr std::size_t kHashSize = 1u << 15;
+  constexpr Index kNil = std::numeric_limits<Index>::max();
+  const std::size_t n = data.size();
+  const std::byte* base = data.data();
+  const bool prefix_reject = opt.min_match >= 4;
+
+  std::vector<Index> head(kHashSize, kNil);
+  std::vector<Index> prev(n > 0 ? n : 1, kNil);
+
+  const auto insert = [&](std::size_t p) {
+    const std::uint32_t h = hash4(base + p);
+    prev[p] = head[h];
+    head[h] = static_cast<Index>(p);
+  };
+  const auto find = [&](std::size_t pos, std::size_t* best_len,
+                        std::size_t* best_dist) {
+    const std::uint32_t h = hash4(base + pos);
+    std::uint32_t pos4;
+    std::memcpy(&pos4, base + pos, 4);
+    const std::size_t max_len = std::min<std::size_t>(kMaxMatch, n - pos);
+    Index cand = head[h];
+    int probes = opt.max_probes;
+    while (cand != kNil && probes-- > 0 &&
+           pos - static_cast<std::size_t>(cand) <= opt.window) {
+      const std::size_t c = static_cast<std::size_t>(cand);
+      consider_candidate(base, n, pos, c, max_len, prefix_reject, pos4,
+                         best_len, best_dist);
+      cand = prev[c];
+    }
+    prev[pos] = head[h];
+    head[h] = static_cast<Index>(pos);
+  };
+  return tokenize(data, opt, find, insert);
+}
+
+}  // namespace
+
+Bytes lz_compress(std::span<const std::byte> data, const LzOptions& opt) {
+  if (opt.window <= (1u << 16)) return compress_small_window(data, opt);
+  if (data.size() < std::numeric_limits<std::uint32_t>::max())
+    return compress_indexed<std::uint32_t>(data, opt);
+  return compress_indexed<std::uint64_t>(data, opt);
+}
+
 Bytes lz_decompress(std::span<const std::byte> blob) {
   ByteReader r(blob);
   EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kLzMagic,
@@ -121,8 +245,14 @@ Bytes lz_decompress(std::span<const std::byte> blob) {
   const auto orig_size = r.read_pod<std::uint64_t>();
   const auto lit_size = r.read_pod<std::uint64_t>();
   auto lit_blob = r.read_bytes(lit_size);
-  auto lit_syms = huffman_decode(lit_blob);
+  const auto lit_syms = huffman_decode(lit_blob);
   const auto ntokens = r.read_pod<std::uint64_t>();
+
+  // Narrow the literal symbols to bytes once, so literal runs below are
+  // bulk copies instead of per-byte symbol casts.
+  Bytes lits(lit_syms.size());
+  for (std::size_t i = 0; i < lit_syms.size(); ++i)
+    lits[i] = static_cast<std::byte>(lit_syms[i]);
 
   Bytes out;
   out.reserve(orig_size);
@@ -130,16 +260,32 @@ Bytes lz_decompress(std::span<const std::byte> blob) {
   for (std::uint64_t i = 0; i < ntokens; ++i) {
     const auto lit_run = varint_decode(r);
     const auto match_len = varint_decode(r);
-    EBLCIO_CHECK_STREAM(lit_pos + lit_run <= lit_syms.size(),
-                        "literal overrun");
-    for (std::uint64_t k = 0; k < lit_run; ++k)
-      out.push_back(static_cast<std::byte>(lit_syms[lit_pos++]));
+    // Wrap-safe bounds: lit_pos <= lits.size() and out.size() <= orig_size
+    // are loop invariants, so the subtractions cannot underflow — a forged
+    // run/length near UINT64_MAX fails here instead of overflowing a sum
+    // (or a resize) and corrupting memory.
+    EBLCIO_CHECK_STREAM(lit_run <= lits.size() - lit_pos, "literal overrun");
+    EBLCIO_CHECK_STREAM(lit_run <= orig_size - out.size(),
+                        "LZ output overrun");
+    out.insert(out.end(), lits.begin() + static_cast<std::ptrdiff_t>(lit_pos),
+               lits.begin() + static_cast<std::ptrdiff_t>(lit_pos + lit_run));
+    lit_pos += lit_run;
     if (match_len > 0) {
       const auto dist = varint_decode(r);
       EBLCIO_CHECK_STREAM(dist > 0 && dist <= out.size(), "bad match dist");
-      std::size_t src = out.size() - dist;
-      for (std::uint64_t k = 0; k < match_len; ++k)
-        out.push_back(out[src + k]);  // overlapping copies are valid
+      EBLCIO_CHECK_STREAM(match_len <= orig_size - out.size(),
+                          "LZ output overrun");
+      const std::size_t old_size = out.size();
+      out.resize(old_size + match_len);
+      std::byte* dst = out.data() + old_size;
+      const std::byte* src = out.data() + old_size - dist;
+      if (dist >= match_len) {
+        std::memcpy(dst, src, match_len);
+      } else {
+        // Overlapping match: the copy replicates the trailing `dist`-byte
+        // pattern, so it must run strictly forward.
+        for (std::uint64_t k = 0; k < match_len; ++k) dst[k] = src[k];
+      }
     }
   }
   EBLCIO_CHECK_STREAM(out.size() == orig_size, "LZ size mismatch");

@@ -1,0 +1,91 @@
+#include "common/buffer_pool.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+namespace eblcio {
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+BufferPool::Shard& BufferPool::shard_for_this_thread() {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+Bytes BufferPool::acquire(std::size_t size_hint) {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.free.empty()) return Bytes();
+
+  // Best fit: the smallest pooled buffer that already covers the hint;
+  // otherwise the largest one (it still saves the bulk of the regrowth).
+  std::size_t pick = 0;
+  bool covered = false;
+  for (std::size_t i = 0; i < shard.free.size(); ++i) {
+    const std::size_t cap = shard.free[i].capacity();
+    const std::size_t best = shard.free[pick].capacity();
+    if (cap >= size_hint) {
+      if (!covered || cap < best) {
+        pick = i;
+        covered = true;
+      }
+    } else if (!covered && cap > best) {
+      pick = i;
+    }
+  }
+  Bytes out = std::move(shard.free[pick]);
+  shard.free.erase(shard.free.begin() + static_cast<std::ptrdiff_t>(pick));
+  shard.bytes -= out.capacity();
+  out.clear();
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return out;
+}
+
+void BufferPool::release(Bytes&& buf) {
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  if (buf.capacity() == 0) return;
+  Bytes local = std::move(buf);
+  local.clear();
+  Shard& shard = shard_for_this_thread();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.free.size() >= kMaxBuffersPerShard ||
+      shard.bytes + local.capacity() > kMaxBytesPerShard)
+    return;  // drop: `local` frees on scope exit
+  shard.bytes += local.capacity();
+  shard.free.push_back(std::move(local));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.retained_buffers += shard.free.size();
+    s.retained_bytes += shard.bytes;
+  }
+  return s;
+}
+
+void BufferPool::trim() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.free.clear();
+    shard.bytes = 0;
+  }
+}
+
+void BufferPool::reset_stats() {
+  acquires_.store(0, std::memory_order_relaxed);
+  hits_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace eblcio

@@ -1,0 +1,83 @@
+// Thread-aware recycling pool for byte buffers.
+//
+// The streamed pipelines (core/pipeline) move one compressed slab per cell
+// through fetch/compress/write stages; without reuse every slab costs a
+// fresh heap allocation in the PFS fetch path, the container staging
+// copies, and the chunked compressor framing. The pool closes that loop:
+// stages acquire() their working buffer and release() it once the slab has
+// been consumed, so a steady-state streamed run recycles the same few
+// allocations regardless of slab count.
+//
+// Thread awareness: buffers live in a small fixed set of shards indexed by
+// the calling thread's id, so concurrent pipeline stages (producer on an
+// executor worker, consumer on the caller) don't serialize on one mutex,
+// and a buffer released by the thread that just drained it is typically
+// cache-warm for that thread's next acquire.
+//
+// Returned buffers are always empty (size 0); capacity is whatever the
+// recycled allocation carried, grown by the caller's reserve/resize as
+// needed — after the first lap every slab fits without reallocating.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace eblcio {
+
+class BufferPool {
+ public:
+  // The process-wide pool the pipelines share.
+  static BufferPool& global();
+
+  // Returns an empty buffer, preferring a pooled allocation with capacity
+  // >= size_hint (best effort: the largest pooled buffer in this thread's
+  // shard otherwise, a fresh buffer when the shard is empty).
+  Bytes acquire(std::size_t size_hint = 0);
+
+  // Donates a buffer's allocation back to the pool. The buffer is cleared;
+  // shards cap both buffer count and retained bytes, and anything beyond
+  // the cap is simply freed.
+  void release(Bytes&& buf);
+
+  struct Stats {
+    std::uint64_t acquires = 0;
+    std::uint64_t hits = 0;      // acquires served from a pooled buffer
+    std::uint64_t releases = 0;
+    std::uint64_t retained_buffers = 0;  // currently pooled
+    std::uint64_t retained_bytes = 0;    // capacity currently pooled
+  };
+  Stats stats() const;
+
+  // Frees every pooled buffer (keeps counters; used by tests and by
+  // long-lived tools between workloads).
+  void trim();
+
+  // Resets the hit/acquire/release counters (retained state unchanged).
+  void reset_stats();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  static constexpr std::size_t kMaxBuffersPerShard = 16;
+  static constexpr std::size_t kMaxBytesPerShard = std::size_t{64} << 20;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Bytes> free;
+    std::size_t bytes = 0;  // summed capacity of `free`
+  };
+
+  Shard& shard_for_this_thread();
+
+  std::array<Shard, kShards> shards_;
+  std::atomic<std::uint64_t> acquires_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> releases_{0};
+};
+
+}  // namespace eblcio

@@ -18,6 +18,13 @@ namespace eblcio {
 inline constexpr std::uint8_t kBackendHuffman = 0;
 inline constexpr std::uint8_t kBackendHuffmanLz = 1;
 
+// Note on the LZ stage cost: LZ over the Huffman blob is several times
+// the Huffman pass itself and its result is discarded whenever Huffman
+// alone is smaller. Sampling-based prescreens were tried and rejected —
+// any fixed sample can misjudge a stream whose compressibility lies
+// outside the sampled windows, and the emitted branch (hence the blob)
+// must not depend on a heuristic. Both stages always run, exactly as the
+// reference SZ pipeline does.
 inline Bytes encode_code_stream(const std::vector<std::uint32_t>& codes,
                                 std::uint32_t alphabet_size) {
   Bytes huff = huffman_encode(codes, alphabet_size);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/buffer_pool.h"
 #include "common/error.h"
 #include "parallel/executor.h"
 
@@ -99,7 +100,12 @@ Bytes compress_chunked(const BlobHeader& header, const Field& field,
   append_pod<std::uint8_t>(out, kLayoutChunked);
   append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(blobs.size()));
   for (const Bytes& b : blobs) append_pod<std::uint64_t>(out, b.size());
-  for (const Bytes& b : blobs) append_bytes(out, b);
+  for (Bytes& b : blobs) {
+    append_bytes(out, b);
+    // Per-slab payloads are copied into the framed container; recycle
+    // their allocations for the next chunked compression.
+    BufferPool::global().release(std::move(b));
+  }
   return out;
 }
 

@@ -46,8 +46,12 @@ std::size_t auto_anchor_stride(const Grid& g) {
 }
 
 // Interpolates along dimension `d` at position `c` (coord c[d] is the
-// midpoint between known grid points at distance `h`).
-double interp_predict(const Grid& g, const double* recon,
+// midpoint between known grid points at distance `h`). The buffer holds T
+// values (each exactly T-representable); every operand widens to double
+// before any arithmetic, so predictions match the all-double original
+// bit for bit.
+template <typename T>
+double interp_predict(const Grid& g, const T* recon,
                       const std::array<std::size_t, 4>& c, int d,
                       std::size_t h, bool cubic, std::size_t lin) {
   const std::size_t cd = c[d];
@@ -56,16 +60,17 @@ double interp_predict(const Grid& g, const double* recon,
   const bool has_l1 = cd >= h;
   const bool has_r1 = cd + h < nd;
   if (cubic && cd >= 3 * h && cd + 3 * h < nd) {
-    const double fm3 = recon[lin - 3 * h * sd];
-    const double fm1 = recon[lin - h * sd];
-    const double fp1 = recon[lin + h * sd];
-    const double fp3 = recon[lin + 3 * h * sd];
+    const double fm3 = static_cast<double>(recon[lin - 3 * h * sd]);
+    const double fm1 = static_cast<double>(recon[lin - h * sd]);
+    const double fp1 = static_cast<double>(recon[lin + h * sd]);
+    const double fp3 = static_cast<double>(recon[lin + 3 * h * sd]);
     return (-fm3 + 9.0 * fm1 + 9.0 * fp1 - fp3) / 16.0;
   }
   if (has_l1 && has_r1)
-    return 0.5 * (recon[lin - h * sd] + recon[lin + h * sd]);
-  if (has_l1) return recon[lin - h * sd];
-  if (has_r1) return recon[lin + h * sd];
+    return 0.5 * (static_cast<double>(recon[lin - h * sd]) +
+                  static_cast<double>(recon[lin + h * sd]));
+  if (has_l1) return static_cast<double>(recon[lin - h * sd]);
+  if (has_r1) return static_cast<double>(recon[lin + h * sd]);
   return 0.0;
 }
 
@@ -97,13 +102,15 @@ void traverse(const Grid& g, std::size_t anchor_stride, F&& f) {
       std::array<std::size_t, 4> c{};
       for (c[0] = start[0]; c[0] < g.dim[0]; c[0] += step[0])
         for (c[1] = start[1]; c[1] < g.dim[1]; c[1] += step[1])
-          for (c[2] = start[2]; c[2] < g.dim[2]; c[2] += step[2])
-            for (c[3] = start[3]; c[3] < g.dim[3]; c[3] += step[3]) {
-              const std::size_t lin = c[0] * g.stride[0] +
-                                      c[1] * g.stride[1] +
-                                      c[2] * g.stride[2] + c[3];
-              f(c, lin, d, h, level);
-            }
+          for (c[2] = start[2]; c[2] < g.dim[2]; c[2] += step[2]) {
+            // The d3 stride is 1, so the innermost index advances by
+            // step[3] without re-deriving it from the coordinates.
+            const std::size_t base = c[0] * g.stride[0] +
+                                     c[1] * g.stride[1] +
+                                     c[2] * g.stride[2];
+            for (c[3] = start[3]; c[3] < g.dim[3]; c[3] += step[3])
+              f(c, base + c[3], d, h, level);
+          }
     }
   }
 }
@@ -136,7 +143,10 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
   InterpEncoding enc;
   enc.alphabet_size = 2 * kRadius + 1;
   enc.codes.reserve(g.num_elements());
-  std::vector<double> recon(g.num_elements(), 0.0);
+  // recon entries are anchors or quantizer round-trips: exactly
+  // T-representable, so storing T halves the buffer bandwidth with
+  // bit-identical reads.
+  std::vector<T> recon(g.num_elements(), T{0});
 
   // Anchors: exact values on the coarse grid.
   std::array<std::size_t, 4> a{};
@@ -147,7 +157,7 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
           const std::size_t lin = a[0] * g.stride[0] + a[1] * g.stride[1] +
                                   a[2] * g.stride[2] + a[3];
           append_pod<T>(enc.anchors, data[lin]);
-          recon[lin] = static_cast<double>(data[lin]);
+          recon[lin] = data[lin];
         }
 
   const auto leb = level_eb_table(abs_eb, config.level_gamma);
@@ -164,7 +174,7 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
                append_pod<T>(enc.unpred, static_cast<T>(x));
                r = x;
              }
-             recon[lin] = r;
+             recon[lin] = static_cast<T>(r);
              enc.codes.push_back(code);
            });
   return enc;
@@ -181,7 +191,10 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
   const double abs_eb = header.abs_error_bound;
 
   NdArray<T> arr(Shape{std::span<const std::size_t>(header.dims)});
-  std::vector<double> recon(g.num_elements(), 0.0);
+  // recon entries are anchors or quantizer round-trips: exactly
+  // T-representable, so storing T halves the buffer bandwidth with
+  // bit-identical reads.
+  std::vector<T> recon(g.num_elements(), T{0});
   ByteReader anchor_r(anchors);
   ByteReader unpred_r(unpred);
 
@@ -193,7 +206,7 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
           const std::size_t lin = a[0] * g.stride[0] + a[1] * g.stride[1] +
                                   a[2] * g.stride[2] + a[3];
           const T v = anchor_r.read_pod<T>();
-          recon[lin] = static_cast<double>(v);
+          recon[lin] = v;
           arr[lin] = v;
         }
 
@@ -214,7 +227,7 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
                const LinearQuantizer quant(leb[level], kRadius);
                out = static_cast<T>(quant.recover(pred, code));
              }
-             recon[lin] = static_cast<double>(out);
+             recon[lin] = out;
              arr[lin] = out;
            });
   EBLCIO_CHECK_STREAM(code_idx == codes.size(),

@@ -20,7 +20,10 @@ class LinearQuantizer {
   // `abs_eb` is the absolute per-element error bound; `radius` gives code
   // capacity 2*radius (SZ uses 32768 by default -> 65536-entry alphabet).
   explicit LinearQuantizer(double abs_eb, std::uint32_t radius = 32768)
-      : eb_(abs_eb), eb2_(2.0 * abs_eb), radius_(radius) {}
+      : eb_(abs_eb),
+        eb2_(2.0 * abs_eb),
+        inv_eb2_(eb2_ > 0.0 ? 1.0 / eb2_ : 0.0),
+        radius_(radius) {}
 
   std::uint32_t radius() const { return radius_; }
   // Alphabet size for the entropy stage: code 0 = unpredictable.
@@ -44,7 +47,13 @@ class LinearQuantizer {
       }
       return 0;
     }
-    const double qf = diff / eb2_;
+    // Reciprocal multiply instead of a divide: ~15 cycles off the
+    // prediction-feedback dependency chain. The (at most 1-ulp) difference
+    // in qf can only shift the chosen q where llround sat within an ulp of
+    // a half-integer — and any q is validated by the cast-value round-trip
+    // check below, so the error bound holds regardless. Decoding is
+    // unaffected: recover() never uses the reciprocal.
+    const double qf = diff * inv_eb2_;
     if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
     const auto q = static_cast<std::int64_t>(std::llround(qf));
     const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
@@ -65,6 +74,7 @@ class LinearQuantizer {
  private:
   double eb_;
   double eb2_;
+  double inv_eb2_;
   std::uint32_t radius_;
 };
 

@@ -28,8 +28,6 @@ struct Geometry {
   std::array<std::size_t, 4> nblocks{1, 1, 1, 1}; // block grid
   int real_dims = 1;
   std::vector<unsigned> lorenzo_masks;  // nonzero masks over real dims
-  // Precomputed (linear offset, sign) per mask for the interior fast path.
-  std::vector<std::pair<std::size_t, double>> lorenzo_terms;
 
   static Geometry from_dims(const std::vector<std::size_t>& dims) {
     Geometry g;
@@ -61,22 +59,7 @@ struct Geometry {
         if ((mask & (1u << d)) && g.dim[d] == 1) ok = false;
       if (ok) g.lorenzo_masks.push_back(mask);
     }
-    for (unsigned mask : g.lorenzo_masks) {
-      std::size_t off = 0;
-      for (int d = 0; d < 4; ++d)
-        if (mask & (1u << d)) off += g.stride[d];
-      g.lorenzo_terms.emplace_back(off,
-                                   (std::popcount(mask) & 1) ? 1.0 : -1.0);
-    }
     return g;
-  }
-
-  // True when every active dimension's coordinate is nonzero, i.e. all
-  // Lorenzo neighbours exist and the precomputed-term fast path applies.
-  bool interior(const std::array<std::size_t, 4>& c) const {
-    for (int d = 0; d < 4; ++d)
-      if (c[d] == 0 && dim[d] > 1) return false;
-    return true;
   }
 
   std::size_t num_elements() const {
@@ -87,34 +70,67 @@ struct Geometry {
   }
 };
 
-// Lorenzo prediction from a (partially filled) reconstruction buffer.
-// Out-of-range neighbours contribute zero, matching SZ's padding semantics.
-double lorenzo_predict(const Geometry& g, const double* recon,
-                       const std::array<std::size_t, 4>& c,
-                       std::size_t linear) {
-  if (g.interior(c)) {
-    double pred = 0.0;
-    for (const auto& [off, sign] : g.lorenzo_terms)
-      pred += sign * recon[linear - off];
-    return pred;
-  }
-  double pred = 0.0;
+// The Lorenzo stencil for one row (fixed c0..c2, c3 varying): the (offset,
+// sign) pairs of every mask whose neighbours exist, in mask order — the
+// same accumulation order as walking lorenzo_masks and skipping the
+// out-of-range ones, so predictions are bit-identical to the per-element
+// mask walk this replaces. Rows split into a head stencil (first element
+// when its c3 coordinate is 0) and a tail stencil (c3 > 0); hoisting the
+// boundary logic here leaves the per-element loop a fused multiply-add
+// sweep over precomputed offsets.
+struct RowStencil {
+  std::array<std::pair<std::size_t, double>, 15> head_terms;
+  std::array<std::pair<std::size_t, double>, 15> tail_terms;
+  int head_n = 0;
+  int tail_n = 0;
+};
+
+RowStencil row_stencil(const Geometry& g,
+                       const std::array<std::size_t, 4>& row) {
+  RowStencil st;
   for (unsigned mask : g.lorenzo_masks) {
-    bool in_range = true;
+    bool valid_fixed = true;  // dims 0..2 (fixed along the row)
     std::size_t off = 0;
-    for (int d = 0; d < 4; ++d) {
+    for (int d = 0; d < 3; ++d) {
       if (!(mask & (1u << d))) continue;
-      if (c[d] == 0) {
-        in_range = false;
+      if (row[d] == 0) {
+        valid_fixed = false;
         break;
       }
       off += g.stride[d];
     }
-    if (!in_range) continue;
-    const double v = recon[linear - off];
-    pred += (std::popcount(mask) & 1) ? v : -v;
+    if (!valid_fixed) continue;
+    const bool touches_d3 = (mask & (1u << 3)) != 0;
+    if (touches_d3) off += g.stride[3];
+    const double sign = (std::popcount(mask) & 1) ? 1.0 : -1.0;
+    st.tail_terms[st.tail_n++] = {off, sign};
+    if (!touches_d3) st.head_terms[st.head_n++] = {off, sign};
   }
+  return st;
+}
+
+// Prediction from a row stencil: sign-weighted neighbour sum over either
+// the reconstruction buffer (double) or raw samples (T). Multiplying by
+// the exact +-1.0 sign equals the branchy add/subtract bit-for-bit.
+template <typename V>
+inline double stencil_predict(
+    const std::array<std::pair<std::size_t, double>, 15>& terms, int n,
+    const V* vals, std::size_t lin) {
+  double pred = 0.0;
+  for (int k = 0; k < n; ++k)
+    pred += terms[k].second *
+            static_cast<double>(vals[lin - terms[k].first]);
   return pred;
+}
+
+// True when every active-dimension coordinate of the row base is nonzero
+// (and the row does not start on the d3 face): all Lorenzo neighbours of
+// every element in the row exist, so the full stencil applies unmodified.
+inline bool interior_row(const Geometry& g,
+                         const std::array<std::size_t, 4>& row) {
+  for (int d = 0; d < 4; ++d)
+    if (row[d] == 0 && g.dim[d] > 1) return false;
+  return true;
 }
 
 struct RegressionCoeffs {
@@ -148,31 +164,55 @@ std::vector<BlockRef> enumerate_blocks(const Geometry& g) {
   return blocks;
 }
 
-// Least-squares plane fit over a block of raw values.
+// Linear index of the row base (c3 = 0) for local row coords `c` inside
+// `blk`; the d3 stride is 1 by construction, so rows advance unit-stride.
+inline std::size_t row_base(const Geometry& g, const BlockRef& blk,
+                            const std::array<std::size_t, 4>& c) {
+  return (blk.origin[0] + c[0]) * g.stride[0] +
+         (blk.origin[1] + c[1]) * g.stride[1] +
+         (blk.origin[2] + c[2]) * g.stride[2] + blk.origin[3];
+}
+
+// Least-squares plane fit over a block of raw values. The data-independent
+// moments (element count, coordinate sums, squared-coordinate sums) are
+// sums of small integers — exact in double in any order — so they come
+// from closed forms; only the data moments accumulate per element, in the
+// original element-then-dimension order so sum_x / sum_ux stay
+// bit-identical to the fused loop this replaces.
 template <typename T>
 RegressionCoeffs fit_regression(const Geometry& g, const T* data,
                                 const BlockRef& blk) {
   RegressionCoeffs rc;
-  double n = 0.0, sum_x = 0.0;
-  std::array<double, 4> sum_u{}, sum_uu{}, sum_ux{};
+  const double n = static_cast<double>(blk.extent[0] * blk.extent[1] *
+                                       blk.extent[2] * blk.extent[3]);
+  std::array<double, 4> sum_u{}, sum_uu{};
+  for (int d = 0; d < 4; ++d) {
+    const double e = static_cast<double>(blk.extent[d]);
+    const double others = n / e;
+    // sum over c_d of c_d, and of c_d^2, times the count of other coords.
+    sum_u[d] = others * (e * (e - 1.0) / 2.0);
+    sum_uu[d] = others * ((e - 1.0) * e * (2.0 * e - 1.0) / 6.0);
+  }
+
+  double sum_x = 0.0;
+  std::array<double, 4> sum_ux{};
   std::array<std::size_t, 4> c{};
   for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
     for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
-        for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
-          std::size_t lin = 0;
-          for (int d = 0; d < 4; ++d)
-            lin += (blk.origin[d] + c[d]) * g.stride[d];
+      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2]) {
+        std::size_t lin = row_base(g, blk, c);
+        const double u0 = static_cast<double>(c[0]);
+        const double u1 = static_cast<double>(c[1]);
+        const double u2 = static_cast<double>(c[2]);
+        for (c[3] = 0; c[3] < blk.extent[3]; ++c[3], ++lin) {
           const double x = static_cast<double>(data[lin]);
-          n += 1.0;
           sum_x += x;
-          for (int d = 0; d < 4; ++d) {
-            const auto u = static_cast<double>(c[d]);
-            sum_u[d] += u;
-            sum_uu[d] += u * u;
-            sum_ux[d] += u * x;
-          }
+          sum_ux[0] += u0 * x;
+          sum_ux[1] += u1 * x;
+          sum_ux[2] += u2 * x;
+          sum_ux[3] += static_cast<double>(c[3]) * x;
         }
+      }
   const double mean_x = sum_x / n;
   double b0 = mean_x;
   for (int d = 0; d < 4; ++d) {
@@ -187,58 +227,106 @@ RegressionCoeffs fit_regression(const Geometry& g, const T* data,
   return rc;
 }
 
-double regression_predict(const RegressionCoeffs& rc,
-                          const std::array<std::size_t, 4>& local) {
-  double p = rc.b0;
-  for (int d = 0; d < 4; ++d)
-    p += static_cast<double>(rc.slope[d]) * static_cast<double>(local[d]);
-  return p;
-}
-
 // Decides the per-block predictor by comparing sampled absolute residuals
 // of raw-data Lorenzo vs. the regression plane (SZ2's selection heuristic).
 template <typename T>
-bool regression_wins(const Geometry& g, const T* data, const BlockRef& blk,
+bool regression_wins(const Geometry& g, const RowStencil& full,
+                     const T* data, const BlockRef& blk,
                      const RegressionCoeffs& rc) {
   double err_lorenzo = 0.0, err_reg = 0.0;
   std::array<std::size_t, 4> c{};
   for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
     for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-      for (c[2] = 0; c[2] < blk.extent[2]; c[2] += 2)
+      for (c[2] = 0; c[2] < blk.extent[2]; c[2] += 2) {
+        const std::array<std::size_t, 4> row{
+            blk.origin[0] + c[0], blk.origin[1] + c[1],
+            blk.origin[2] + c[2], blk.origin[3]};
+        const RowStencil st =
+            interior_row(g, row) ? full : row_stencil(g, row);
+        // regression_predict association: ((b0+s0c0)+s1c1)+s2c2, then +s3c3.
+        const double reg_row =
+            ((rc.b0 + static_cast<double>(rc.slope[0]) *
+                          static_cast<double>(c[0])) +
+             static_cast<double>(rc.slope[1]) * static_cast<double>(c[1])) +
+            static_cast<double>(rc.slope[2]) * static_cast<double>(c[2]);
+        const std::size_t base = row_base(g, blk, c);
         for (c[3] = 0; c[3] < blk.extent[3]; c[3] += 2) {  // sample stride 2
-          std::array<std::size_t, 4> gc;
-          std::size_t lin = 0;
-          for (int d = 0; d < 4; ++d) {
-            gc[d] = blk.origin[d] + c[d];
-            lin += gc[d] * g.stride[d];
-          }
+          const std::size_t lin = base + c[3];
           const double x = static_cast<double>(data[lin]);
           // Raw-data Lorenzo residual (approximation to the real residual).
-          double pred = 0.0;
-          if (g.interior(gc)) {
-            for (const auto& [off, sign] : g.lorenzo_terms)
-              pred += sign * static_cast<double>(data[lin - off]);
+          const bool head = row[3] + c[3] == 0 && g.dim[3] > 1;
+          const double pred =
+              head ? stencil_predict(st.head_terms, st.head_n, data, lin)
+                   : stencil_predict(st.tail_terms, st.tail_n, data, lin);
+          err_lorenzo += std::fabs(x - pred);
+          err_reg +=
+              std::fabs(x - (reg_row + static_cast<double>(rc.slope[3]) *
+                                           static_cast<double>(c[3])));
+        }
+      }
+  return err_reg < err_lorenzo;
+}
+
+// Walks one block in canonical element order, computing every element's
+// prediction (regression plane or Lorenzo stencil over `recon`) and
+// invoking fn(lin, pred). Compress and decompress both iterate through
+// this single walker: the round-trip contract requires the two sides to
+// evaluate predictions bit-identically, so the shared code path makes
+// that symmetry structural rather than maintained by hand (fn is the only
+// side-specific part — quantize+record vs recover+materialize).
+template <typename T, typename Fn>
+void walk_block_predictions(const Geometry& g, const BlockRef& blk,
+                            const RowStencil& full, bool reg,
+                            const RegressionCoeffs& rc, const T* recon,
+                            Fn&& fn) {
+  std::array<std::size_t, 4> c{};
+  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
+    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
+      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2]) {
+        // Per-element work is hoisted to the row: the linear index
+        // advances unit-stride, the predictor branch resolves once, and
+        // boundary handling collapses into the precomputed stencils.
+        const std::size_t base = row_base(g, blk, c);
+        const std::size_t ext3 = blk.extent[3];
+        if (reg) {
+          // regression association: ((b0+s0c0)+s1c1)+s2c2, then +s3c3.
+          const double reg_row =
+              ((rc.b0 + static_cast<double>(rc.slope[0]) *
+                            static_cast<double>(c[0])) +
+               static_cast<double>(rc.slope[1]) *
+                   static_cast<double>(c[1])) +
+              static_cast<double>(rc.slope[2]) * static_cast<double>(c[2]);
+          const double s3 = static_cast<double>(rc.slope[3]);
+          for (std::size_t c3 = 0; c3 < ext3; ++c3)
+            fn(base + c3, reg_row + s3 * static_cast<double>(c3));
+        } else {
+          const std::array<std::size_t, 4> row{
+              blk.origin[0] + c[0], blk.origin[1] + c[1],
+              blk.origin[2] + c[2], blk.origin[3]};
+          if (interior_row(g, row)) {
+            // All neighbours exist: the precomputed full stencil applies
+            // to every element, skipping the per-row rebuild.
+            for (std::size_t c3 = 0; c3 < ext3; ++c3) {
+              const std::size_t lin = base + c3;
+              fn(lin, stencil_predict(full.tail_terms, full.tail_n, recon,
+                                      lin));
+            }
           } else {
-            for (unsigned mask : g.lorenzo_masks) {
-              bool in_range = true;
-              std::size_t off = 0;
-              for (int d = 0; d < 4; ++d) {
-                if (!(mask & (1u << d))) continue;
-                if (gc[d] == 0) {
-                  in_range = false;
-                  break;
-                }
-                off += g.stride[d];
-              }
-              if (!in_range) continue;
-              const double v = static_cast<double>(data[lin - off]);
-              pred += (std::popcount(mask) & 1) ? v : -v;
+            const RowStencil st = row_stencil(g, row);
+            std::size_t c3 = 0;
+            if (row[3] == 0 && g.dim[3] > 1 && ext3 > 0) {
+              fn(base,
+                 stencil_predict(st.head_terms, st.head_n, recon, base));
+              c3 = 1;
+            }
+            for (; c3 < ext3; ++c3) {
+              const std::size_t lin = base + c3;
+              fn(lin,
+                 stencil_predict(st.tail_terms, st.tail_n, recon, lin));
             }
           }
-          err_lorenzo += std::fabs(x - pred);
-          err_reg += std::fabs(x - regression_predict(rc, c));
         }
-  return err_reg < err_lorenzo;
+      }
 }
 
 struct SlabEncoding {
@@ -257,8 +345,16 @@ SlabEncoding compress_slab(const Field& field, double abs_eb) {
   const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
 
   SlabEncoding enc;
-  enc.codes.reserve(g.num_elements());
-  std::vector<double> recon(g.num_elements(), 0.0);
+  enc.codes.resize(g.num_elements());
+  std::uint32_t* code_dst = enc.codes.data();
+  // recon holds values the decompressor materializes: every entry is the
+  // T-cast of a prediction+residual, hence exactly T-representable — storing
+  // T halves the buffer bandwidth with bit-identical reads.
+  using ReconT = T;
+  std::vector<ReconT> recon(g.num_elements(), ReconT{0});
+
+  // Shared stencil for interior rows (every mask valid), built once.
+  const RowStencil full = row_stencil(g, {1, 1, 1, 1});
 
   const auto blocks = enumerate_blocks(g);
   enc.mode_bits.assign((blocks.size() + 7) / 8, std::byte{0});
@@ -269,36 +365,25 @@ SlabEncoding compress_slab(const Field& field, double abs_eb) {
     bool reg = false;
     if (use_regression) {
       rc = fit_regression(g, data, blk);
-      reg = regression_wins(g, data, blk, rc);
+      reg = regression_wins(g, full, data, blk, rc);
       if (reg) {
         enc.mode_bits[bi / 8] |= static_cast<std::byte>(1u << (bi % 8));
         append_pod(enc.coeffs, rc);
       }
     }
-    std::array<std::size_t, 4> c{};
-    for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
-      for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-        for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
-          for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
-            std::array<std::size_t, 4> gc;
-            std::size_t lin = 0;
-            for (int d = 0; d < 4; ++d) {
-              gc[d] = blk.origin[d] + c[d];
-              lin += gc[d] * g.stride[d];
-            }
-            const double x = static_cast<double>(data[lin]);
-            const double pred =
-                reg ? regression_predict(rc, c)
-                    : lorenzo_predict(g, recon.data(), gc, lin);
-            double r = 0.0;
-            const std::uint32_t code = quant.quantize<T>(x, pred, &r);
-            if (code == 0) {
-              append_pod<T>(enc.unpred, static_cast<T>(x));
-              r = x;
-            }
-            recon[lin] = r;
-            enc.codes.push_back(code);
-          }
+    walk_block_predictions(g, blk, full, reg, rc, recon.data(),
+                           [&](std::size_t lin, double pred) {
+                             const double x = static_cast<double>(data[lin]);
+                             double r = 0.0;
+                             const std::uint32_t code =
+                                 quant.quantize<T>(x, pred, &r);
+                             if (code == 0) {
+                               append_pod<T>(enc.unpred, static_cast<T>(x));
+                               r = x;
+                             }
+                             recon[lin] = static_cast<ReconT>(r);
+                             *code_dst++ = code;
+                           });
   }
   return enc;
 }
@@ -313,7 +398,14 @@ Field decompress_slab(const BlobHeader& header,
   const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
 
   NdArray<T> arr(Shape{std::span<const std::size_t>(header.dims)});
-  std::vector<double> recon(g.num_elements(), 0.0);
+  // recon holds values the decompressor materializes: every entry is the
+  // T-cast of a prediction+residual, hence exactly T-representable — storing
+  // T halves the buffer bandwidth with bit-identical reads.
+  using ReconT = T;
+  std::vector<ReconT> recon(g.num_elements(), ReconT{0});
+
+  // Shared stencil for interior rows (every mask valid), built once.
+  const RowStencil full = row_stencil(g, {1, 1, 1, 1});
 
   const auto blocks = enumerate_blocks(g);
   EBLCIO_CHECK_STREAM(mode_bits.size() >= (blocks.size() + 7) / 8,
@@ -328,32 +420,25 @@ Field decompress_slab(const BlobHeader& header,
     RegressionCoeffs rc;
     if (reg) rc = coeffs.read_pod<RegressionCoeffs>();
 
-    std::array<std::size_t, 4> c{};
-    for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
-      for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-        for (c[2] = 0; c[2] < blk.extent[2]; ++c[2])
-          for (c[3] = 0; c[3] < blk.extent[3]; ++c[3]) {
-            std::array<std::size_t, 4> gc;
-            std::size_t lin = 0;
-            for (int d = 0; d < 4; ++d) {
-              gc[d] = blk.origin[d] + c[d];
-              lin += gc[d] * g.stride[d];
-            }
-            EBLCIO_CHECK_STREAM(code_idx < codes.size(),
-                                "SZ2: code stream underrun");
-            const std::uint32_t code = codes[code_idx++];
-            T out;
-            if (code == 0) {
-              out = unpred.read_pod<T>();
-            } else {
-              const double pred =
-                  reg ? regression_predict(rc, c)
-                      : lorenzo_predict(g, recon.data(), gc, lin);
-              out = static_cast<T>(quant.recover(pred, code));
-            }
-            recon[lin] = static_cast<double>(out);
-            arr[lin] = out;
-          }
+    // The whole block's codes must be present before any element is
+    // consumed (stricter-earlier version of the per-element underrun
+    // check; same exception on corrupt streams).
+    std::size_t block_elems = 1;
+    for (int d = 0; d < 4; ++d) block_elems *= blk.extent[d];
+    EBLCIO_CHECK_STREAM(code_idx + block_elems <= codes.size(),
+                        "SZ2: code stream underrun");
+    walk_block_predictions(g, blk, full, reg, rc, recon.data(),
+                           [&](std::size_t lin, double pred) {
+                             const std::uint32_t code = codes[code_idx++];
+                             T out;
+                             if (code == 0) {
+                               out = unpred.read_pod<T>();
+                             } else {
+                               out = static_cast<T>(quant.recover(pred, code));
+                             }
+                             recon[lin] = out;
+                             arr[lin] = out;
+                           });
   }
   return Field("SZ2", std::move(arr));
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.h"
 #include "common/timer.h"
 #include "compressors/chunking.h"
 #include "compressors/compressor.h"
@@ -206,6 +207,9 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
         charge_io("stream-write-prep", "stream-write", w);
     rec.slab_write_s[produced->index] = seconds;
     write_j += joules;
+    // The blob has landed in the container; recycle its allocation for the
+    // next slab's compress/staging buffers.
+    BufferPool::global().release(std::move(produced->blob));
   }
   const IoCost close_cost = out.close();
   const auto [close_s, close_j] =
@@ -313,6 +317,8 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
           monitor.record_compute("stream-decompress", t.elapsed_s(), 1);
       rec.slab_decompress_s[produced->index] = reading.seconds;
       decompress_j += reading.joules;
+      // The fetched slab is decoded; its buffer feeds the next fetch.
+      BufferPool::global().release(std::move(produced->blob));
       slab_fields[produced->index] = std::move(slab);
     }
   }
@@ -354,11 +360,12 @@ Field read_chunked_field(PfsSimulator& pfs, const std::string& path,
   auto reader = tool.open_chunked_reader(pfs, path);
   const std::size_t nslabs = reader.index().chunks.size();
   EBLCIO_CHECK_STREAM(nslabs >= 1, "chunked container holds no slabs");
-  std::vector<Bytes> blobs(nslabs);
-  for (std::size_t i = 0; i < nslabs; ++i) blobs[i] = reader.read_chunk(i);
   std::vector<Field> slab_fields(nslabs);
-  for (std::size_t i = 0; i < nslabs; ++i)
-    slab_fields[i] = decompress_any(blobs[i], 1);
+  for (std::size_t i = 0; i < nslabs; ++i) {
+    Bytes blob = reader.read_chunk(i);
+    slab_fields[i] = decompress_any(blob, 1);
+    BufferPool::global().release(std::move(blob));
+  }
   return merge_slabs(slab_fields, reader.index().meta.dims,
                      reader.index().meta.name);
 }

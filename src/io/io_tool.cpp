@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstring>
 
+#include "common/buffer_pool.h"
 #include "common/error.h"
 #include "io/adioslite.h"
 #include "io/h5lite.h"
@@ -120,10 +121,14 @@ IoCost IoTool::ChunkWriter::append_chunk(std::span<const std::byte> chunk,
 
   if (profile.staging_copy) {
     // The classic-model conversion buffer: the chunk really passes through
-    // an intermediate copy before landing in the container.
-    Bytes staged(chunk.size());
+    // an intermediate copy before landing in the container. The copy is a
+    // pooled buffer — append() lands the bytes in the PFS stripes, so the
+    // staging allocation recycles across chunks.
+    Bytes staged = BufferPool::global().acquire(chunk.size());
+    staged.resize(chunk.size());
     std::memcpy(staged.data(), chunk.data(), chunk.size());
     cost.transfer_seconds = stream_.append(staged, concurrent_clients).seconds;
+    BufferPool::global().release(std::move(staged));
   } else {
     cost.transfer_seconds = stream_.append(chunk, concurrent_clients).seconds;
   }
@@ -231,9 +236,12 @@ Bytes IoTool::ChunkReader::read_chunk(std::size_t i, IoCost* cost_out,
                               concurrent_clients);
   if (profile.staging_copy) {
     // Mirror the write path: the classic library stages fetched data
-    // through its conversion buffer before handing it to the caller.
-    Bytes staged(fetched.data.size());
+    // through its conversion buffer before handing it to the caller. The
+    // drained fetch buffer goes straight back to the pool.
+    Bytes staged = BufferPool::global().acquire(fetched.data.size());
+    staged.resize(fetched.data.size());
     std::memcpy(staged.data(), fetched.data.data(), fetched.data.size());
+    BufferPool::global().release(std::move(fetched.data));
     fetched.data = std::move(staged);
   }
   if (cost_out) {

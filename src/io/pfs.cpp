@@ -1,5 +1,7 @@
 #include "io/pfs.h"
 
+#include "common/buffer_pool.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -171,6 +173,10 @@ PfsSimulator::RangeRead PfsSimulator::read_range(const std::string& path,
                    "read_range past end of file: " + path);
 
   RangeRead r;
+  // Ranged fetches are the per-slab hot path of the streamed read
+  // pipeline; recycling the fetch buffer makes steady-state reads
+  // allocation-free at this layer (consumers release() once drained).
+  r.data = BufferPool::global().acquire(length);
   r.data.reserve(length);
   std::size_t stripes_touched = 0;
   if (length > 0) {

@@ -80,6 +80,92 @@ TEST(BitStream, MasksHighBits) {
   EXPECT_EQ(br.get_bits(8), 0x1fu);
 }
 
+// --- word-at-a-time reader APIs --------------------------------------------
+
+TEST(BitStream, PeekDoesNotConsume) {
+  BitWriter bw;
+  bw.put_bits(0xABCD, 16);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.peek_bits(12), 0xBCDu);
+  EXPECT_EQ(br.peek_bits(12), 0xBCDu);  // unchanged
+  EXPECT_EQ(br.bit_pos(), 0u);
+  br.consume(4);
+  EXPECT_EQ(br.peek_bits(12), 0xABCu);
+  EXPECT_EQ(br.bit_pos(), 4u);
+}
+
+TEST(BitStream, PeekPastEndIsZeroPadded) {
+  BitWriter bw;
+  bw.put_bits(0x3, 2);
+  const Bytes bytes = bw.take();  // one byte
+  BitReader br(bytes);
+  br.consume(6);
+  EXPECT_EQ(br.peek_bits(16), 0u);  // only padding left
+  br.consume(16);
+  EXPECT_TRUE(br.exhausted());
+  EXPECT_EQ(br.bit_pos(), 22u);
+}
+
+TEST(BitStream, PeekThenGetMatches) {
+  Rng rng(7);
+  BitWriter bw;
+  std::vector<std::pair<std::uint64_t, int>> writes;
+  for (int i = 0; i < 500; ++i) {
+    const int n = 1 + static_cast<int>(rng.next_below(32));
+    const std::uint64_t v = rng.next_u64() & ((1ull << n) - 1);
+    writes.emplace_back(v, n);
+    bw.put_bits(v, n);
+  }
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  for (const auto& [v, n] : writes) {
+    EXPECT_EQ(br.peek_bits(n), v);
+    br.consume(n);
+  }
+}
+
+TEST(BitStream, RefillAccBatchedConsume) {
+  // The huffman decode pattern: one refill, several symbols consumed from
+  // a local copy, one consume() for the batch total.
+  BitWriter bw;
+  for (int i = 0; i < 32; ++i) bw.put_bits(static_cast<std::uint64_t>(i), 6);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  int decoded = 0;
+  while (decoded < 32) {
+    std::uint64_t acc = br.refill_acc();
+    const int avail = br.bits_buffered();
+    ASSERT_GE(avail, 6);
+    int used = 0;
+    while (decoded < 32 && used + 6 <= avail) {
+      EXPECT_EQ(acc & 0x3F, static_cast<std::uint64_t>(decoded));
+      acc >>= 6;
+      used += 6;
+      ++decoded;
+    }
+    br.consume(used);
+  }
+  EXPECT_EQ(br.bit_pos(), 32u * 6u);
+}
+
+TEST(BitStream, MixedBitAndWordReads) {
+  // get_bit / get_bits / peek+consume interleave against one position.
+  BitWriter bw;
+  bw.put_bits(0b1011, 4);
+  bw.put_bits(0x5555, 16);
+  bw.put_bits(0xFFFFFFFFull, 32);
+  const Bytes bytes = bw.take();
+  BitReader br(bytes);
+  EXPECT_EQ(br.get_bit(), 1u);
+  EXPECT_EQ(br.peek_bits(3), 0b101u);
+  br.consume(3);
+  EXPECT_EQ(br.get_bits(16), 0x5555u);
+  EXPECT_EQ(br.get_bits(32), 0xFFFFFFFFull);
+  EXPECT_EQ(br.get_bits(4), 0u);  // byte padding
+  EXPECT_TRUE(br.exhausted());
+}
+
 // Property: random sequences of mixed-width writes round-trip exactly.
 class BitStreamFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 

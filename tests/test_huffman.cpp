@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "codec/huffman.h"
 #include "common/error.h"
@@ -123,6 +124,102 @@ TEST(HuffmanLengths, MoreFrequentGetsShorterOrEqualCode) {
   EXPECT_LE(lengths[0], lengths[1]);
   EXPECT_LE(lengths[2], lengths[1]);
   EXPECT_LE(lengths[1], lengths[3]);
+}
+
+// --- LUT decoder vs reference decoder (differential) -----------------------
+
+// The table-driven decoder and the per-bit canonical reference must agree
+// symbol-for-symbol on every blob the encoder can produce. These tests pit
+// them against each other on the regimes that stress the LUT specifically:
+// codes longer than the table width (slow-path fallback), degenerate
+// alphabets, and random mixes.
+
+TEST(HuffmanDifferential, SingleSymbolAlphabet) {
+  const std::vector<std::uint32_t> syms(513, 9);
+  const Bytes blob = huffman_encode(syms, 64);
+  EXPECT_EQ(huffman_decode(blob), syms);
+  EXPECT_EQ(huffman_decode_reference(blob), syms);
+}
+
+TEST(HuffmanDifferential, MaxLengthCodesUseSlowPath) {
+  // Fibonacci-like frequencies drive tree depth past kMaxHuffmanBits, so
+  // the Kraft fix-up clamps to 32-bit codes — far past the LUT width — and
+  // the rare symbols decode through the canonical fallback.
+  const int n = 48;
+  std::vector<std::uint64_t> freqs(n);
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < n; ++i) {
+    freqs[i] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(*std::max_element(lengths.begin(), lengths.end()),
+            kMaxHuffmanBits);
+
+  // A stream hitting every symbol (so every code length appears),
+  // including long runs of the rarest (longest-code) symbols.
+  std::vector<std::uint32_t> syms;
+  Rng rng(17);
+  for (int i = 0; i < n; ++i)
+    for (int k = 0; k < 1 + static_cast<int>(rng.next_below(5)); ++k)
+      syms.push_back(static_cast<std::uint32_t>(i));
+  for (int i = 0; i < 2000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(
+        n - 1 - rng.next_below(static_cast<std::uint32_t>(n) / 2)));
+  const Bytes blob = huffman_encode(syms, n);
+  EXPECT_EQ(huffman_decode(blob), syms);
+  EXPECT_EQ(huffman_decode_reference(blob), syms);
+}
+
+TEST(HuffmanDifferential, RandomLengthsAndSymbols) {
+  Rng rng(99);
+  for (int round = 0; round < 40; ++round) {
+    const std::uint32_t alphabet = 2 + rng.next_below(5000);
+    const int count = static_cast<int>(rng.next_below(4000));
+    std::vector<std::uint32_t> syms;
+    syms.reserve(count);
+    // Mix skew regimes so short-, medium-, and long-code alphabets appear.
+    const bool skewed = round % 2 == 0;
+    for (int i = 0; i < count; ++i) {
+      std::uint32_t s = rng.next_below(alphabet);
+      if (skewed && rng.next_below(4) != 0) s = s % (1 + alphabet / 16);
+      syms.push_back(s);
+    }
+    const Bytes blob = huffman_encode(syms, alphabet);
+    const auto fast = huffman_decode(blob);
+    const auto slow = huffman_decode_reference(blob);
+    ASSERT_EQ(fast, slow) << "round " << round;
+    ASSERT_EQ(fast, syms) << "round " << round;
+  }
+}
+
+TEST(HuffmanDifferential, CorruptStreamsAgreeOnRejection) {
+  // Both decoders must throw (not crash, not disagree) on truncated and
+  // bit-flipped payloads.
+  Rng rng(5);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 4000; ++i)
+    syms.push_back(static_cast<std::uint32_t>(rng.next_below(300)));
+  const Bytes good = huffman_encode(syms, 300);
+  for (std::size_t cut : {good.size() / 4, good.size() / 2}) {
+    Bytes bad = good;
+    bad.resize(cut);
+    EXPECT_THROW(huffman_decode(bad), CorruptStream);
+    EXPECT_THROW(huffman_decode_reference(bad), CorruptStream);
+  }
+}
+
+TEST(HuffmanDifferential, OverflowSafeCountGuard) {
+  // A forged header with count near UINT64_MAX must be rejected by the
+  // payload-size guard without overflowing the comparison.
+  const std::vector<std::uint32_t> syms(64, 1);
+  Bytes blob = huffman_encode(syms, 4);
+  const std::uint64_t forged = ~std::uint64_t{0} - 3;
+  std::memcpy(blob.data(), &forged, sizeof forged);
+  EXPECT_THROW(huffman_decode(blob), CorruptStream);
+  EXPECT_THROW(huffman_decode_reference(blob), CorruptStream);
 }
 
 // Property sweep over random alphabets and sizes.

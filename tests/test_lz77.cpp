@@ -5,6 +5,8 @@
 #include <cstring>
 #include <string>
 
+#include "codec/intcodec.h"
+#include "compressors/backend.h"
 #include "codec/lz77.h"
 #include "common/error.h"
 #include "common/rng.h"
@@ -90,6 +92,38 @@ TEST(Lz77, RejectsTruncatedBlob) {
   EXPECT_THROW(lz_decompress(blob), CorruptStream);
 }
 
+TEST(Lz77, RejectsForgedHugeTokenLengths) {
+  // A hand-built blob whose token carries match_len (or literal_run) near
+  // UINT64_MAX: the decoder's output-size checks must reject it without
+  // the size arithmetic wrapping into an out-of-bounds copy.
+  const auto forge = [](std::uint64_t lit_run, std::uint64_t match_len,
+                        std::uint64_t dist) {
+    // Tokens are varint-coded; build the frame around a real literal blob.
+    const Bytes seed = lz_compress(to_bytes("aa"));  // header + lit blob
+    Bytes blob;
+    // magic + orig_size
+    append_pod<std::uint32_t>(blob, 0x4c5a4542u);
+    append_pod<std::uint64_t>(blob, 2);
+    // reuse the genuine huffman literal blob from the seed frame
+    ByteReader r(seed);
+    (void)r.read_pod<std::uint32_t>();
+    (void)r.read_pod<std::uint64_t>();
+    const auto lit_size = r.read_pod<std::uint64_t>();
+    auto lit_blob = r.read_bytes(lit_size);
+    append_pod<std::uint64_t>(blob, lit_size);
+    append_bytes(blob, lit_blob);
+    append_pod<std::uint64_t>(blob, 1);  // one token
+    varint_encode(blob, lit_run);
+    varint_encode(blob, match_len);
+    if (match_len > 0) varint_encode(blob, dist);
+    return blob;
+  };
+  const std::uint64_t huge = ~std::uint64_t{0} - 1;
+  EXPECT_THROW(lz_decompress(forge(1, huge, 1)), CorruptStream);
+  EXPECT_THROW(lz_decompress(forge(huge, 0, 0)), CorruptStream);
+  EXPECT_THROW(lz_decompress(forge(2, huge, 2)), CorruptStream);
+}
+
 TEST(Lz77, ProbeDepthTradesRatioForSpeed) {
   std::string s;
   Rng rng(6);
@@ -106,6 +140,28 @@ TEST(Lz77, ProbeDepthTradesRatioForSpeed) {
   const auto blob_deep = lz_compress(data, deep);
   EXPECT_LE(blob_deep.size(), blob_shallow.size());
   EXPECT_EQ(lz_decompress(blob_deep), lz_decompress(blob_shallow));
+}
+
+TEST(Lz77, BackendKeepsLzBranchForHeterogeneousStreams) {
+  // encode_code_stream must pick the LZ branch whenever it is smaller —
+  // including on heterogeneous streams (a noisy region followed by a long
+  // smooth one, a normal quantization-code shape) whose Huffman-blob
+  // *prefix* is incompressible. Guards against any future sampling
+  // shortcut that would judge the stream by its head.
+  Rng rng(31);
+  std::vector<std::uint32_t> codes;
+  for (int i = 0; i < (1 << 17); ++i)
+    codes.push_back(rng.next_below(65537));       // noisy head
+  codes.insert(codes.end(), 1 << 21, 32768u);     // smooth tail
+  const Bytes blob = encode_code_stream(codes, 65537);
+  const Bytes huff = huffman_encode(codes, 65537);
+  const Bytes lz = lz_compress(huff);
+  // The emitted stream must be the (much smaller) LZ branch, not the
+  // skipped-pass Huffman fallback.
+  EXPECT_LT(blob.size(), huff.size() / 2);
+  EXPECT_LE(blob.size(), lz.size() + 16);  // LZ payload + backend framing
+  ByteReader r(blob);
+  EXPECT_EQ(decode_code_stream(r), codes);
 }
 
 class Lz77Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
