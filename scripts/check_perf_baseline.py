@@ -1,27 +1,31 @@
 #!/usr/bin/env python3
-"""Fail CI when a codec kernel regresses against the checked-in baseline.
+"""Fail CI when a gated bench kernel regresses against its baseline.
 
-Compares a fresh BENCH_codecs.json (written by bench_micro_codecs) against
-bench/baselines/BENCH_codecs.json. Raw MB/s is machine-dependent, so each
-kernel's throughput is first normalized by a same-run calibration row
-before comparison; the check is on the ratio of normalized throughputs:
+Compares a fresh BENCH_*.json (written by a bench binary's kernel section)
+against the matching file in bench/baselines/. Raw MB/s is
+machine-dependent, so each kernel's throughput is first normalized by a
+same-run calibration row before comparison; the check is on the ratio of
+normalized throughputs:
 
     current_norm / baseline_norm  >=  1 - tolerance
 
-The gating kernel huffman_decode normalizes against the in-binary
-reference decoder (huffman_decode_reference) — both run the identical
-payload in the same process seconds apart, which cancels machine and
-noisy-neighbour variance far better than a bandwidth row can. Because the
-reference decoder shares the BitReader substrate (a regression there
-would slow both and hide in the ratio), a second, looser memcpy-normalized
-gate (tolerance 0.6) backstops substrate-wide slowdowns. All other
-kernels normalize against `memcpy` for the informational report.
+Paired gating kernels normalize against an in-binary reference of the same
+code path: huffman_decode against huffman_decode_reference
+(bench_micro_codecs), zone_decode (parallel full-field zone decode)
+against zone_decode_serial (bench_zone_scaling). Both halves of a pair run
+the identical payload in the same process seconds apart, which cancels
+machine and noisy-neighbour variance far better than a bandwidth row can.
+Because a pair shares its substrate (a regression there would slow both
+and hide in the ratio), a second, looser memcpy-normalized gate
+(tolerance 0.6) backstops substrate-wide slowdowns. All other kernels
+normalize against `memcpy` for the informational report.
 
 Only kernels listed via --kernel (default: huffman_decode) gate the build;
-everything else is reported for the artifact log. To refresh the baseline
+everything else is reported for the artifact log. To refresh a baseline
 after an intentional perf change:
 
     ./build/bench_micro_codecs --reps=7 --json=bench/baselines/BENCH_codecs.json
+    ./build/bench_zone_scaling --reps=7 --json=bench/baselines/BENCH_zones.json
 """
 
 import argparse
@@ -55,7 +59,10 @@ def main() -> int:
     with open(args.current) as f:
         cur = json.load(f)["kernels"]
 
-    normalizers = {"huffman_decode": "huffman_decode_reference"}
+    normalizers = {
+        "huffman_decode": "huffman_decode_reference",
+        "zone_decode": "zone_decode_serial",
+    }
     # Backstop: the primary normalizer shares the bitstream substrate with
     # the gated kernel, so a substrate-wide slowdown cancels out of the
     # tight ratio; this looser memcpy-normalized bound still catches it.

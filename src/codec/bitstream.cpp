@@ -2,12 +2,17 @@
 
 #include <cstring>
 
+#include "common/buffer_pool.h"
+
 namespace eblcio {
 
 Bytes BitWriter::take() {
   const std::size_t total_bits = bit_count();
   const std::size_t total_bytes = (total_bits + 7) / 8;
-  Bytes out(total_bytes);
+  // Pooled: the taken payload is framed into its blob and released by the
+  // encoder, so back-to-back encodes recycle one allocation.
+  Bytes out = BufferPool::global().acquire(total_bytes);
+  out.resize(total_bytes);
   std::size_t off = 0;
   for (std::uint64_t w : words_) {
     std::memcpy(out.data() + off, &w, 8);

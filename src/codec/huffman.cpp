@@ -8,6 +8,7 @@
 #include <queue>
 
 #include "codec/bitstream.h"
+#include "common/buffer_pool.h"
 #include "common/error.h"
 
 namespace eblcio {
@@ -285,7 +286,9 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
   }
   auto cc = assign_canonical(huffman_code_lengths(freqs));
 
-  Bytes out;
+  // Pooled output: repeated encodes (per zone, per slab) reuse one
+  // allocation instead of growing a fresh vector each time.
+  Bytes out = BufferPool::global().acquire(symbols.size() / 2 + 64);
   append_pod<std::uint64_t>(out, symbols.size());
   append_pod<std::uint32_t>(out, alphabet_size);
   write_lengths_rle(out, cc.lengths);
@@ -317,6 +320,7 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
   Bytes payload = bw.take();
   append_pod<std::uint64_t>(out, payload.size());
   append_bytes(out, payload);
+  BufferPool::global().release(std::move(payload));
   return out;
 }
 

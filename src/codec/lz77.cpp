@@ -9,6 +9,7 @@
 
 #include "codec/huffman.h"
 #include "codec/intcodec.h"
+#include "common/buffer_pool.h"
 #include "common/error.h"
 
 namespace eblcio {
@@ -57,11 +58,15 @@ Bytes emit_blob(std::size_t n, const std::vector<Token>& tokens,
     lit_syms[i] = static_cast<std::uint8_t>(literals[i]);
   Bytes lit_blob = huffman_encode(lit_syms, 256);
 
-  Bytes out;
+  // Pooled output: lz_compress runs once per zone/slab in the streamed
+  // pipelines, so its blob (and the framed literal blob) recycle.
+  Bytes out = BufferPool::global().acquire(28 + lit_blob.size() +
+                                           tokens.size() * 6);
   append_pod<std::uint32_t>(out, kLzMagic);
   append_pod<std::uint64_t>(out, n);
   append_pod<std::uint64_t>(out, lit_blob.size());
   append_bytes(out, lit_blob);
+  BufferPool::global().release(std::move(lit_blob));
   append_pod<std::uint64_t>(out, tokens.size());
   for (const Token& t : tokens) {
     varint_encode(out, t.literal_run);

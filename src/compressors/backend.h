@@ -10,6 +10,7 @@
 
 #include "codec/huffman.h"
 #include "codec/lz77.h"
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/error.h"
 
@@ -29,7 +30,8 @@ inline Bytes encode_code_stream(const std::vector<std::uint32_t>& codes,
                                 std::uint32_t alphabet_size) {
   Bytes huff = huffman_encode(codes, alphabet_size);
   Bytes lz = lz_compress(huff);
-  Bytes out;
+  const std::size_t kept = std::min(lz.size(), huff.size());
+  Bytes out = BufferPool::global().acquire(9 + kept);
   if (lz.size() < huff.size()) {
     append_pod<std::uint8_t>(out, kBackendHuffmanLz);
     append_pod<std::uint64_t>(out, lz.size());
@@ -39,6 +41,10 @@ inline Bytes encode_code_stream(const std::vector<std::uint32_t>& codes,
     append_pod<std::uint64_t>(out, huff.size());
     append_bytes(out, huff);
   }
+  // Both stage buffers are dead once the winner is framed; recycling them
+  // keeps steady-state zone compression allocation-free.
+  BufferPool::global().release(std::move(huff));
+  BufferPool::global().release(std::move(lz));
   return out;
 }
 

@@ -265,6 +265,7 @@ Bytes interp_payload_encode(const InterpConfig& config,
   append_sized(out, enc.unpred);
   Bytes code_blob = encode_code_stream(enc.codes, enc.alphabet_size);
   append_bytes(out, code_blob);
+  BufferPool::global().release(std::move(code_blob));
   return out;
 }
 

@@ -489,6 +489,7 @@ Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
   }
   Bytes code_blob = encode_code_stream(all_codes, 2 * kRadius + 1);
   append_bytes(out, code_blob);
+  BufferPool::global().release(std::move(code_blob));
   return out;
 }
 

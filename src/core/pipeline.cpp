@@ -6,6 +6,7 @@
 #include "common/timer.h"
 #include "compressors/chunking.h"
 #include "compressors/compressor.h"
+#include "compressors/zone.h"
 #include "io/io_tool.h"
 #include "parallel/executor.h"
 
@@ -112,6 +113,31 @@ struct ChannelCloser {
   ~ChannelCloser() { channel->close(); }
 };
 
+// The live client count the streamed pipelines feed the PFS contention
+// model: every registered writer and reader fleet across overlapping
+// worlds, never less than this client itself. A lone pipeline sees exactly
+// 1 (its own scope), so single-stream pricing is unchanged; overlapping
+// streams contend honestly.
+int contended_clients(const PfsSimulator& pfs) {
+  return std::max(1, pfs.concurrent_writers() + pfs.concurrent_readers());
+}
+
+// Checks a decoded zone field against the container's zone index entry
+// before any of its bytes are assembled: dims must match the dataset with
+// the extent's row count, so a swapped or forged blob fails cleanly.
+void check_zone_field(const Field& zone, const ChunkIndex& index,
+                      std::size_t zi, const std::string& path) {
+  const auto& dims = index.meta.dims;
+  const Shape& s = zone.shape();
+  EBLCIO_CHECK_STREAM(
+      s.ndims() == static_cast<int>(dims.size()) &&
+          s.dim(0) == static_cast<std::size_t>(index.zones[zi].rows),
+      "zone blob does not match its index extent: " + path);
+  for (int d = 1; d < s.ndims(); ++d)
+    EBLCIO_CHECK_STREAM(s.dim(d) == dims[static_cast<std::size_t>(d)],
+                        "zone blob does not match the dataset dims: " + path);
+}
+
 }  // namespace
 
 StreamWriteRecord run_streamed_compress_write(const Field& field,
@@ -126,6 +152,9 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
 
   const auto slabs = split_slabs(field, stream.slabs);
   const std::size_t nslabs = slabs.size();
+  // Slabs are zones: the same slab_rows distribution, so the footer zone
+  // index places each chunk's row interval for later partial-region reads.
+  const auto zones = zone_extents(field.shape().dim(0), stream.slabs);
 
   CompressOptions opt;
   opt.mode = BoundMode::kValueRangeRel;
@@ -197,12 +226,13 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   meta.dims = field.shape().dims_vector();
   meta.attributes["content"] = "eblc-compressed";
   meta.attributes["codec"] = rec.codec;
-  auto out = tool.open_chunked(pfs, rec.path, meta);
+  auto out = tool.open_zoned(pfs, rec.path, meta);
   auto [open_s, open_j] =
       charge_io("stream-write-prep", "stream-write-open", out.open_cost());
   double write_j = open_j;
   while (auto produced = channel.pop()) {
-    const IoCost w = out.append_chunk(produced->blob);
+    const IoCost w = out.append_zone(produced->blob, zones[produced->index],
+                                     contended_clients(pfs));
     const auto [seconds, joules] =
         charge_io("stream-write-prep", "stream-write", w);
     rec.slab_write_s[produced->index] = seconds;
@@ -211,7 +241,7 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
     // next slab's compress/staging buffers.
     BufferPool::global().release(std::move(produced->blob));
   }
-  const IoCost close_cost = out.close();
+  const IoCost close_cost = out.close(contended_clients(pfs));
   const auto [close_s, close_j] =
       charge_io("stream-write-prep", "stream-write-close", close_cost);
   write_j += close_j;
@@ -267,7 +297,7 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
 
   // Open the container: the footer chunk index and dataset metadata arrive
   // through ranged reads before the pipeline starts (open paid once).
-  auto reader = tool.open_chunked_reader(pfs, path);
+  auto reader = tool.open_chunked_reader(pfs, path, contended_clients(pfs));
   const std::size_t nslabs = reader.index().chunks.size();
   EBLCIO_CHECK_STREAM(nslabs >= 1, "chunked container holds no slabs");
   rec.slabs = static_cast<int>(nslabs);
@@ -293,7 +323,7 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
     ChannelCloser<ProducedSlab> closer{&channel};
     for (std::size_t i = 0; i < nslabs; ++i) {
       IoCost cost;
-      Bytes blob = reader.read_chunk(i, &cost);
+      Bytes blob = reader.read_chunk(i, &cost, contended_clients(pfs));
       const auto prep =
           monitor.record_compute("stream-fetch-prep", cost.prep_seconds, 1);
       const auto io = monitor.record_io("stream-fetch", cost.transfer_seconds);
@@ -370,4 +400,174 @@ Field read_chunked_field(PfsSimulator& pfs, const std::string& path,
                      reader.index().meta.name);
 }
 
+// --- Partial-region (zoned) reads -------------------------------------------
+
+namespace {
+
+// Allocates the region-shaped output field once the first zone reveals the
+// dtype (the container's dtype_code is the opaque-compressed tag, not the
+// payload dtype).
+Field make_region_field(const std::string& name, const Region& region,
+                        DType dtype) {
+  Shape shape{std::span<const std::size_t>(region.shape)};
+  return dtype == DType::kFloat32 ? Field(name, NdArray<float>(shape))
+                                  : Field(name, NdArray<double>(shape));
+}
+
+}  // namespace
+
+RegionReadRecord run_streamed_read_region(PfsSimulator& pfs,
+                                          const std::string& path,
+                                          const Region& region,
+                                          const PipelineConfig& config,
+                                          const StreamConfig& stream) {
+  EBLCIO_CHECK_ARG(stream.queue_depth >= 1, "queue depth must be positive");
+  const CpuModel& cpu = cpu_model(config.cpu);
+  IoTool& tool = io_tool(config.io_library);
+
+  RegionReadRecord rec;
+  rec.io_library = tool.name();
+  rec.path = path;
+  rec.region = region;
+  rec.queue_depth = stream.queue_depth;
+  rec.container_bytes = pfs.file_size(path);
+
+  PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
+  PfsSimulator::ReaderScope reader_scope(pfs);
+
+  auto reader = tool.open_chunked_reader(pfs, path, contended_clients(pfs));
+  const ChunkIndex& index = reader.index();
+  EBLCIO_CHECK_STREAM(index.zoned(),
+                      "container has no zone index (written before zoning, "
+                      "or unzoned writer): " + path);
+  // Resolve the query box to its covering zones from the footer index
+  // alone; everything after this touches only those zones.
+  const std::vector<std::size_t> covering = reader.covering(region);
+  EBLCIO_CHECK_STREAM(!covering.empty(),
+                      "region resolves to no covering zones: " + path);
+  const std::size_t nzones = covering.size();
+  rec.zones_total = static_cast<int>(index.zones.size());
+  rec.zones_decoded = static_cast<int>(nzones);
+  rec.zone_fetch_s.resize(nzones);
+  rec.zone_decompress_s.resize(nzones);
+
+  const auto open_prep = monitor.record_compute(
+      "region-read-prep", reader.open_cost().prep_seconds, 1);
+  const auto open_io = monitor.record_io("region-read-open",
+                                         reader.open_cost().transfer_seconds);
+  const double open_s = open_prep.seconds + open_io.seconds;
+  double fetch_j = open_prep.joules + open_io.joules;
+
+  BoundedChannel<ProducedSlab> channel(
+      static_cast<std::size_t>(stream.queue_depth));
+  WallTimer wall;
+
+  // Producer: issues one ranged fetch per covering zone (in covering
+  // order) while the consumer decodes the previous zone.
+  TaskGroup producer;
+  std::size_t bytes_fetched = 0;
+  producer.run([&] {
+    ChannelCloser<ProducedSlab> closer{&channel};
+    for (std::size_t i = 0; i < nzones; ++i) {
+      IoCost cost;
+      Bytes blob =
+          reader.read_chunk(covering[i], &cost, contended_clients(pfs));
+      const auto prep =
+          monitor.record_compute("region-fetch-prep", cost.prep_seconds, 1);
+      const auto io = monitor.record_io("region-fetch", cost.transfer_seconds);
+      rec.zone_fetch_s[i] = prep.seconds + io.seconds;
+      fetch_j += prep.joules + io.joules;
+      bytes_fetched += blob.size();
+      channel.push({i, std::move(blob)});
+    }
+  });
+
+  // Consumer (this thread): decodes each covering zone, validates it
+  // against the index, and scatters its intersection with the region into
+  // the output. A corrupt zone throws here; no partial field escapes.
+  Field out;
+  bool out_ready = false;
+  double decompress_j = 0.0;
+  {
+    ChannelCloser<ProducedSlab> closer{&channel};
+    while (auto produced = channel.pop()) {
+      const std::size_t zi = covering[produced->index];
+      WallTimer t;
+      Field zone = decompress_any(produced->blob, 1);
+      check_zone_field(zone, index, zi, path);
+      if (!out_ready) {
+        out = make_region_field(index.meta.name, region, zone.dtype());
+        out_ready = true;
+      }
+      EBLCIO_CHECK_STREAM(zone.dtype() == out.dtype(),
+                          "zone blobs disagree on dtype: " + path);
+      scatter_zone_into_region(
+          zone, static_cast<std::size_t>(index.zones[zi].row_start), region,
+          out);
+      const auto reading =
+          monitor.record_compute("region-decompress", t.elapsed_s(), 1);
+      rec.zone_decompress_s[produced->index] = reading.seconds;
+      decompress_j += reading.joules;
+      BufferPool::global().release(std::move(produced->blob));
+    }
+  }
+  producer.wait();
+
+  rec.host_wall_s = wall.elapsed_s();
+  rec.fetch_j = fetch_j;
+  rec.decompress_j = decompress_j;
+  rec.bytes_fetched = bytes_fetched;
+  rec.field = std::move(out);
+  rec.field_bytes = rec.field.size_bytes();
+
+  // Same recurrence as the full read pipeline, over the covering set only.
+  const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
+  std::vector<double> ff(nzones, 0.0), fd(nzones, 0.0);
+  double serial_fetch = 0.0, serial_decompress = 0.0;
+  for (std::size_t i = 0; i < nzones; ++i) {
+    double start = i > 0 ? ff[i - 1] : open_s;
+    if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
+    ff[i] = start + rec.zone_fetch_s[i];
+    const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
+    fd[i] = std::max(ff[i], decomp_free) + rec.zone_decompress_s[i];
+    serial_fetch += rec.zone_fetch_s[i];
+    serial_decompress += rec.zone_decompress_s[i];
+  }
+  rec.streamed_total_s = fd[nzones - 1];
+  rec.serial_total_s = open_s + serial_fetch + serial_decompress;
+  return rec;
+}
+
+Field read_region_reference(PfsSimulator& pfs, const std::string& path,
+                            const Region& region,
+                            const std::string& io_library) {
+  IoTool& tool = io_tool(io_library);
+  auto reader = tool.open_chunked_reader(pfs, path);
+  const ChunkIndex& index = reader.index();
+  EBLCIO_CHECK_STREAM(index.zoned(),
+                      "container has no zone index: " + path);
+  auto fetched = reader.read_zones(region);
+  EBLCIO_CHECK_STREAM(!fetched.empty(),
+                      "region resolves to no covering zones: " + path);
+
+  Field out;
+  bool out_ready = false;
+  for (auto& f : fetched) {
+    Field zone = decompress_any(f.blob, 1);
+    check_zone_field(zone, index, f.zone, path);
+    if (!out_ready) {
+      out = make_region_field(index.meta.name, region, zone.dtype());
+      out_ready = true;
+    }
+    EBLCIO_CHECK_STREAM(zone.dtype() == out.dtype(),
+                        "zone blobs disagree on dtype: " + path);
+    scatter_zone_into_region(
+        zone, static_cast<std::size_t>(index.zones[f.zone].row_start), region,
+        out);
+    BufferPool::global().release(std::move(f.blob));
+  }
+  return out;
+}
+
 }  // namespace eblcio
+

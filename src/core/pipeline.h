@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/field.h"
+#include "common/region.h"
 #include "core/tradeoff.h"
 #include "energy/powercap_monitor.h"
 #include "io/pfs.h"
@@ -126,7 +127,12 @@ struct StreamWriteRecord {
 
 // Runs the streamed experiment and leaves the chunked container at
 // record.path (readable by run_streamed_read / read_chunked_field with the
-// same io_library).
+// same io_library). The container is *zoned* (format version 2): each slab
+// lands with the row interval it covers in the footer zone index, so
+// partial-region readers (run_streamed_read_region) can later fetch only a
+// query's covering slabs. Each append is priced at the PFS's live
+// concurrent_writers()+concurrent_readers() count, so overlapping streams
+// contend honestly.
 StreamWriteRecord run_streamed_compress_write(const Field& field,
                                               const PipelineConfig& config,
                                               PfsSimulator& pfs,
@@ -182,5 +188,65 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
 // identical to run_streamed_read's field — the --verify baseline.
 Field read_chunked_field(PfsSimulator& pfs, const std::string& path,
                          const std::string& io_library);
+
+// --- Partial-region (zoned) read experiment --------------------------------
+//
+// The serving-scale query path: a client wants `region`, not the whole
+// field. The container's footer zone index resolves the query box to its
+// covering zones, and only those zones are fetched (ranged PFS reads) and
+// decoded — fetch of zone i overlaps decode of zone i-1 through the same
+// bounded channel as the full read pipeline. Bytes fetched therefore scale
+// with the query, not with the field.
+
+struct RegionReadRecord {
+  std::string io_library;
+  std::string path;
+  Region region;
+  int zones_total = 0;    // zones in the container's index
+  int zones_decoded = 0;  // covering zones actually fetched + decoded
+  int queue_depth = 0;
+  std::size_t container_bytes = 0;  // whole container size on the PFS
+  std::size_t bytes_fetched = 0;    // compressed bytes the query fetched
+  std::size_t field_bytes = 0;      // reconstructed region size
+  // Modeled platform times, same recurrence as StreamReadRecord but over
+  // the covering set only.
+  double serial_total_s = 0.0;
+  double streamed_total_s = 0.0;
+  double host_wall_s = 0.0;
+  double fetch_j = 0.0;
+  double decompress_j = 0.0;
+  // Per-covering-zone platform times feeding the recurrence.
+  std::vector<double> zone_fetch_s;
+  std::vector<double> zone_decompress_s;
+  // The assembled region (shaped region.shape).
+  Field field;
+
+  double overlap_saving_s() const { return serial_total_s - streamed_total_s; }
+  // Fetched compressed bytes relative to the whole container — the
+  // amplification a full-field fetch would have paid instead.
+  double fetch_fraction() const {
+    return container_bytes ? static_cast<double>(bytes_fetched) /
+                                 static_cast<double>(container_bytes)
+                           : 0.0;
+  }
+};
+
+// Reads `region` of a zoned container written by run_streamed_compress_write
+// through the streamed fetch→decode pipeline. Throws CorruptStream when the
+// container has no zone index or any covering zone is malformed (no partial
+// Field escapes), InvalidArgument when the region falls outside the dataset.
+RegionReadRecord run_streamed_read_region(PfsSimulator& pfs,
+                                          const std::string& path,
+                                          const Region& region,
+                                          const PipelineConfig& config,
+                                          const StreamConfig& stream = {});
+
+// Serial reference for the same query: fetches the covering zones in order,
+// then decodes and assembles them in order, on the calling thread.
+// Bit-for-bit identical to run_streamed_read_region's field — the --verify
+// baseline for partial reads.
+Field read_region_reference(PfsSimulator& pfs, const std::string& path,
+                            const Region& region,
+                            const std::string& io_library);
 
 }  // namespace eblcio

@@ -24,15 +24,25 @@ std::string lower(std::string s) {
 // framing), and the footer index commits at close with its own start
 // offset in the trailing 8 bytes — the same locate-by-footer scheme BP
 // files use, which a reader can reach with three ranged fetches.
+//
+// Version 1 (the PR-4 wire format) is frozen: header version 1 + "CIDX"
+// footer holding (offset, size) per chunk. Version 2 adds the zone index:
+// header version 2 + "ZIDX" footer holding (offset, size, row_start, rows)
+// per chunk. A version-1 writer still emits byte-identical containers, and
+// the reader accepts both (cross-checking that the header version and the
+// footer magic agree).
 constexpr std::uint32_t kChunkMagic = 0x4b434245;        // "EBCK"
 constexpr std::uint32_t kChunkFooterMagic = 0x58444943;  // "CIDX"
+constexpr std::uint32_t kZoneFooterMagic = 0x5844495a;   // "ZIDX"
 constexpr std::uint16_t kChunkVersion = 1;
+constexpr std::uint16_t kZonedVersion = 2;
 
 Bytes encode_chunk_header(const std::string& tool,
-                          const ChunkedDatasetMeta& meta) {
+                          const ChunkedDatasetMeta& meta,
+                          std::uint16_t version) {
   Bytes out;
   append_pod<std::uint32_t>(out, kChunkMagic);
-  append_pod<std::uint16_t>(out, kChunkVersion);
+  append_pod<std::uint16_t>(out, version);
   append_string(out, tool);
   append_string(out, meta.name);
   append_pod<std::uint8_t>(out, meta.dtype_code);
@@ -48,12 +58,13 @@ Bytes encode_chunk_header(const std::string& tool,
 }
 
 ChunkedDatasetMeta decode_chunk_header(std::span<const std::byte> bytes,
-                                       const std::string& expected_tool) {
+                                       const std::string& expected_tool,
+                                       std::uint16_t expected_version) {
   ByteReader r(bytes);
   EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kChunkMagic,
                       "chunked container: bad magic");
-  EBLCIO_CHECK_STREAM(r.read_pod<std::uint16_t>() == kChunkVersion,
-                      "chunked container: bad version");
+  EBLCIO_CHECK_STREAM(r.read_pod<std::uint16_t>() == expected_version,
+                      "chunked container: header/footer version mismatch");
   const std::string tool = r.read_string();
   EBLCIO_CHECK_STREAM(tool == expected_tool,
                       "chunked container was written by " + tool +
@@ -85,18 +96,37 @@ Bytes encode_chunk_footer(const std::vector<ChunkExtent>& extents,
   return out;
 }
 
+Bytes encode_zone_footer(const std::vector<ChunkExtent>& extents,
+                         const std::vector<ZoneExtent>& zones,
+                         std::uint64_t footer_start) {
+  Bytes out;
+  append_pod<std::uint32_t>(out, kZoneFooterMagic);
+  append_pod<std::uint64_t>(out, static_cast<std::uint64_t>(extents.size()));
+  for (std::size_t i = 0; i < extents.size(); ++i) {
+    append_pod<std::uint64_t>(out, extents[i].offset);
+    append_pod<std::uint64_t>(out, extents[i].size);
+    append_pod<std::uint64_t>(out, zones[i].row_start);
+    append_pod<std::uint64_t>(out, zones[i].rows);
+  }
+  append_pod<std::uint64_t>(out, footer_start);
+  return out;
+}
+
 }  // namespace
 
 // --- ChunkWriter -----------------------------------------------------------
 
 IoTool::ChunkWriter::ChunkWriter(const IoTool* tool, PfsSimulator& pfs,
-                                 std::string path, ChunkedDatasetMeta meta)
+                                 std::string path, ChunkedDatasetMeta meta,
+                                 bool zoned)
     : tool_(tool),
       stream_(pfs.open_append(path)),
       path_(std::move(path)),
-      meta_(std::move(meta)) {
+      meta_(std::move(meta)),
+      zoned_(zoned) {
   const ChunkProfile profile = tool_->chunk_profile();
-  const Bytes header = encode_chunk_header(tool_->name(), meta_);
+  const Bytes header = encode_chunk_header(
+      tool_->name(), meta_, zoned_ ? kZonedVersion : kChunkVersion);
   open_cost_.prep_seconds =
       profile.per_chunk_prep_s +
       static_cast<double>(header.size()) / profile.prep_bandwidth_bps;
@@ -107,6 +137,29 @@ IoTool::ChunkWriter::ChunkWriter(const IoTool* tool, PfsSimulator& pfs,
 IoCost IoTool::ChunkWriter::append_chunk(std::span<const std::byte> chunk,
                                          int concurrent_clients) {
   EBLCIO_CHECK_ARG(!closed_, "append_chunk after close: " + path_);
+  EBLCIO_CHECK_ARG(!zoned_,
+                   "zoned container requires append_zone: " + path_);
+  return append_raw(chunk, concurrent_clients);
+}
+
+IoCost IoTool::ChunkWriter::append_zone(std::span<const std::byte> chunk,
+                                        ZoneExtent zone,
+                                        int concurrent_clients) {
+  EBLCIO_CHECK_ARG(!closed_, "append_zone after close: " + path_);
+  EBLCIO_CHECK_ARG(zoned_,
+                   "append_zone on an unzoned container: " + path_);
+  EBLCIO_CHECK_ARG(zone.rows > 0, "zone covers no rows: " + path_);
+  const std::uint64_t expected =
+      zones_.empty() ? 0 : zones_.back().row_start + zones_.back().rows;
+  EBLCIO_CHECK_ARG(zone.row_start == expected,
+                   "zone extents must partition the rows in order: " + path_);
+  IoCost cost = append_raw(chunk, concurrent_clients);
+  zones_.push_back(zone);
+  return cost;
+}
+
+IoCost IoTool::ChunkWriter::append_raw(std::span<const std::byte> chunk,
+                                       int concurrent_clients) {
   const ChunkProfile profile = tool_->chunk_profile();
 
   IoCost cost;
@@ -138,11 +191,20 @@ IoCost IoTool::ChunkWriter::append_chunk(std::span<const std::byte> chunk,
 
 IoCost IoTool::ChunkWriter::close(int concurrent_clients) {
   EBLCIO_CHECK_ARG(!closed_, "double close: " + path_);
+  if (zoned_ && !meta_.dims.empty()) {
+    const std::uint64_t covered =
+        zones_.empty() ? 0 : zones_.back().row_start + zones_.back().rows;
+    EBLCIO_CHECK_ARG(covered == meta_.dims[0],
+                     "zone extents do not cover the dataset rows: " + path_);
+  }
   const ChunkProfile profile = tool_->chunk_profile();
   const PfsConfig& pfs_config = stream_.pfs().config();
 
-  const Bytes footer = encode_chunk_footer(
-      extents_, static_cast<std::uint64_t>(stream_.bytes_written()));
+  const std::uint64_t footer_start =
+      static_cast<std::uint64_t>(stream_.bytes_written());
+  const Bytes footer = zoned_
+                           ? encode_zone_footer(extents_, zones_, footer_start)
+                           : encode_chunk_footer(extents_, footer_start);
   IoCost cost;
   cost.prep_seconds =
       profile.per_chunk_prep_s +
@@ -189,14 +251,19 @@ IoTool::ChunkReader::ChunkReader(const IoTool* tool, PfsSimulator& pfs,
                 concurrent_clients)
           .data;
   ByteReader r(footer);
-  EBLCIO_CHECK_STREAM(r.read_pod<std::uint32_t>() == kChunkFooterMagic,
+  const auto footer_magic = r.read_pod<std::uint32_t>();
+  EBLCIO_CHECK_STREAM(footer_magic == kChunkFooterMagic ||
+                          footer_magic == kZoneFooterMagic,
                       "chunked container: bad footer magic: " + path);
+  const bool zoned = footer_magic == kZoneFooterMagic;
+  const std::size_t entry_bytes = zoned ? 32 : 16;
   const auto nchunks = r.read_pod<std::uint64_t>();
   EBLCIO_CHECK_STREAM(footer.size() >= 12 &&
-                          nchunks == (footer.size() - 12) / 16 &&
-                          (footer.size() - 12) % 16 == 0,
+                          nchunks == (footer.size() - 12) / entry_bytes &&
+                          (footer.size() - 12) % entry_bytes == 0,
                       "chunked container: index size mismatch: " + path);
   index_.chunks.reserve(static_cast<std::size_t>(nchunks));
+  std::uint64_t next_row = 0;
   for (std::uint64_t i = 0; i < nchunks; ++i) {
     ChunkExtent e;
     e.offset = r.read_pod<std::uint64_t>();
@@ -206,6 +273,16 @@ IoTool::ChunkReader::ChunkReader(const IoTool* tool, PfsSimulator& pfs,
                         "chunked container: chunk extent out of range: " +
                             path);
     index_.chunks.push_back(e);
+    if (zoned) {
+      ZoneExtent z;
+      z.row_start = r.read_pod<std::uint64_t>();
+      z.rows = r.read_pod<std::uint64_t>();
+      EBLCIO_CHECK_STREAM(z.rows > 0 && z.row_start == next_row,
+                          "chunked container: zone index is not a "
+                          "contiguous row partition: " + path);
+      next_row = z.row_start + z.rows;
+      index_.zones.push_back(z);
+    }
   }
 
   const std::size_t header_len =
@@ -214,7 +291,16 @@ IoTool::ChunkReader::ChunkReader(const IoTool* tool, PfsSimulator& pfs,
           : static_cast<std::size_t>(index_.chunks.front().offset);
   const Bytes header =
       stream_.read(0, header_len, concurrent_clients).data;
-  index_.meta = decode_chunk_header(header, tool_->name());
+  index_.meta = decode_chunk_header(header, tool_->name(),
+                                    zoned ? kZonedVersion : kChunkVersion);
+  if (zoned) {
+    // The zone index must cover exactly the dataset's leading dimension —
+    // a forged extent past the field (or short of it) fails here, before
+    // any partial read trusts it.
+    EBLCIO_CHECK_STREAM(
+        !index_.meta.dims.empty() && next_row == index_.meta.dims[0],
+        "chunked container: zone index does not cover the dataset: " + path);
+  }
 
   open_cost_.prep_seconds =
       profile.per_chunk_prep_s +
@@ -254,10 +340,36 @@ Bytes IoTool::ChunkReader::read_chunk(std::size_t i, IoCost* cost_out,
   return std::move(fetched.data);
 }
 
+std::vector<std::size_t> IoTool::ChunkReader::covering(
+    const Region& region) const {
+  EBLCIO_CHECK_ARG(index_.zoned(),
+                   "container has no zone index: " + stream_.path());
+  validate_region(region, index_.meta.dims);
+  return covering_zones(index_.zones, region.start[0], region.shape[0]);
+}
+
+std::vector<IoTool::ChunkReader::ZoneFetch> IoTool::ChunkReader::read_zones(
+    const Region& region, int concurrent_clients) {
+  std::vector<ZoneFetch> out;
+  for (std::size_t zone : covering(region)) {
+    ZoneFetch f;
+    f.zone = zone;
+    f.blob = read_chunk(zone, &f.cost, concurrent_clients);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
 IoTool::ChunkWriter IoTool::open_chunked(PfsSimulator& pfs,
                                          const std::string& path,
                                          ChunkedDatasetMeta meta) const {
-  return ChunkWriter(this, pfs, path, std::move(meta));
+  return ChunkWriter(this, pfs, path, std::move(meta), /*zoned=*/false);
+}
+
+IoTool::ChunkWriter IoTool::open_zoned(PfsSimulator& pfs,
+                                       const std::string& path,
+                                       ChunkedDatasetMeta meta) const {
+  return ChunkWriter(this, pfs, path, std::move(meta), /*zoned=*/true);
 }
 
 IoTool::ChunkReader IoTool::open_chunked_reader(PfsSimulator& pfs,

@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/field.h"
+#include "common/region.h"
 #include "io/pfs.h"
 
 namespace eblcio {
@@ -54,10 +55,16 @@ struct ChunkExtent {
   std::uint64_t size = 0;
 };
 
-// The decoded footer: dataset metadata plus every chunk's extent.
+// The decoded footer: dataset metadata plus every chunk's extent. Zoned
+// containers (version 2) additionally carry one ZoneExtent per chunk — the
+// row interval of the field that chunk's compressed blob covers — which is
+// what lets a reader resolve a query box to its covering chunks without
+// decoding anything.
 struct ChunkIndex {
   ChunkedDatasetMeta meta;
   std::vector<ChunkExtent> chunks;
+  std::vector<ZoneExtent> zones;  // empty for version-1 containers
+  bool zoned() const { return !zones.empty(); }
   std::size_t total_bytes() const {
     std::size_t n = 0;
     for (const auto& c : chunks) n += static_cast<std::size_t>(c.size);
@@ -99,6 +106,14 @@ class IoTool {
    public:
     IoCost append_chunk(std::span<const std::byte> chunk,
                         int concurrent_clients = 1);
+
+    // Zoned form (containers opened with open_zoned): appends one chunk
+    // together with the row interval its payload covers. The zone extents
+    // must arrive in order and partition the dataset's leading dimension
+    // by close() or close() throws.
+    IoCost append_zone(std::span<const std::byte> chunk, ZoneExtent zone,
+                       int concurrent_clients = 1);
+
     IoCost close(int concurrent_clients = 1);
 
     const std::string& path() const { return path_; }
@@ -106,21 +121,29 @@ class IoTool {
     // Payload bytes appended so far (container framing excluded).
     std::size_t payload_bytes() const;
     bool closed() const { return closed_; }
+    bool zoned() const { return zoned_; }
     // What writing the container header cost (charged at open).
     const IoCost& open_cost() const { return open_cost_; }
 
    private:
     friend class IoTool;
     ChunkWriter(const IoTool* tool, PfsSimulator& pfs, std::string path,
-                ChunkedDatasetMeta meta);
+                ChunkedDatasetMeta meta, bool zoned);
+
+    // Stages + appends one chunk and records its extent (shared by the
+    // plain and zoned append paths).
+    IoCost append_raw(std::span<const std::byte> chunk,
+                      int concurrent_clients);
 
     const IoTool* tool_;
     PfsSimulator::AppendStream stream_;
     std::string path_;
     ChunkedDatasetMeta meta_;
     std::vector<ChunkExtent> extents_;
+    std::vector<ZoneExtent> zones_;
     IoCost open_cost_;
     bool closed_ = false;
+    bool zoned_ = false;
   };
 
   // Stateful chunked-dataset reader. Construction fetches and validates
@@ -138,6 +161,25 @@ class IoTool {
     Bytes read_chunk(std::size_t i, IoCost* cost_out = nullptr,
                      int concurrent_clients = 1);
 
+    // Resolves a query box to the indices of the zones it intersects.
+    // Requires a zoned (version-2) container and a region that fits the
+    // dataset dims; the covering set is computed from the footer index
+    // alone — no chunk bytes are touched.
+    std::vector<std::size_t> covering(const Region& region) const;
+
+    // One fetched zone: its index, its exact appended bytes, and what the
+    // ranged fetch cost.
+    struct ZoneFetch {
+      std::size_t zone = 0;
+      Bytes blob;
+      IoCost cost;
+    };
+
+    // Fetches only the zones covering `region` — one ranged PFS fetch per
+    // covering chunk, nothing else.
+    std::vector<ZoneFetch> read_zones(const Region& region,
+                                      int concurrent_clients = 1);
+
    private:
     friend class IoTool;
     ChunkReader(const IoTool* tool, PfsSimulator& pfs,
@@ -153,6 +195,14 @@ class IoTool {
   // file) holding one chunked dataset described by `meta`.
   ChunkWriter open_chunked(PfsSimulator& pfs, const std::string& path,
                            ChunkedDatasetMeta meta) const;
+
+  // Opens a fresh *zoned* chunked container (format version 2): every
+  // chunk is appended through append_zone with the row interval it covers,
+  // and the footer commits a zone index alongside the chunk extents so
+  // readers can serve partial-region queries. Version-1 containers are
+  // byte-identical to what open_chunked always produced and still decode.
+  ChunkWriter open_zoned(PfsSimulator& pfs, const std::string& path,
+                         ChunkedDatasetMeta meta) const;
 
   // Opens a closed chunked container for reading. Throws CorruptStream
   // when the container is malformed, unclosed, or was written by a

@@ -7,6 +7,7 @@
 
 #include "common/buffer_pool.h"
 #include "compressors/compressor.h"
+#include "compressors/zone.h"
 #include "core/pipeline.h"
 #include "data/dataset.h"
 #include "io/pfs.h"
@@ -122,6 +123,30 @@ TEST(BufferPool, StreamedWritePipelineReachesSteadyStateReuse) {
   // Second lap: the write path's staging copies and the read path's
   // ranged fetches are served from recycled slab buffers.
   EXPECT_GT(second.hits, warm.hits);
+}
+
+TEST(BufferPool, ZoneCompressSteadyStateIsAllocationFree) {
+  // The per-zone codec path (bitstream take -> huffman/lz blob -> code
+  // stream framing) acquires every working buffer from the pool and
+  // releases it once framed. After one warm lap, a serial zone compress
+  // must therefore run with zero fresh pool allocations: every acquire is
+  // a hit. (Serial keeps all acquires on one thread, i.e. one shard, so
+  // the assertion is exact rather than scheduling-dependent.)
+  const Field field = generate_dataset_dims("NYX", {32, 32, 32}, 3);
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  const ZoneCompressor zc("SZ3", 4);
+
+  BufferPool& pool = BufferPool::global();
+  ZonedField warm = zc.compress(field, opt, /*parallel=*/false);
+  warm.recycle();  // zone blobs rejoin the pool for the next lap
+  pool.reset_stats();
+
+  ZonedField hot = zc.compress(field, opt, /*parallel=*/false);
+  const auto s = pool.stats();
+  EXPECT_GT(s.acquires, 0u);
+  EXPECT_EQ(s.acquires, s.hits);  // steady state: no per-zone allocations
+  hot.recycle();
 }
 
 }  // namespace

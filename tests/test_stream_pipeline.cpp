@@ -76,13 +76,14 @@ TEST(StreamPipeline, RoundTripHoldsBound) {
   EXPECT_EQ(rec.original_bytes, f.size_bytes());
   EXPECT_GT(rec.ratio(), 1.0);
   // Independent cross-check of the container accounting: the header (up
-  // to the first chunk), the chunk payloads, and the footer index
-  // (magic + count + 16 bytes per extent + trailing start offset) must
-  // tile the stored container exactly.
+  // to the first chunk), the chunk payloads, and the zone-index footer
+  // (magic + count + 32 bytes per zone entry + trailing start offset)
+  // must tile the stored container exactly.
   auto reader = io_tool("HDF5").open_chunked_reader(pfs, rec.path);
   const auto& chunks = reader.index().chunks;
   ASSERT_EQ(chunks.size(), 8u);
-  const std::size_t footer_bytes = 4 + 8 + 16 * chunks.size() + 8;
+  ASSERT_TRUE(reader.index().zoned());
+  const std::size_t footer_bytes = 4 + 8 + 32 * chunks.size() + 8;
   EXPECT_EQ(chunks.front().offset + reader.index().total_bytes() +
                 footer_bytes,
             rec.compressed_bytes);
@@ -326,9 +327,10 @@ TEST_F(StreamReadRobustness, BadChunkIndexFailsCleanly) {
   auto reader = tool.open_chunked_reader(pfs_, path_);
   const std::size_t nchunks = reader.index().chunks.size();
   corrupt([&](Bytes& raw) {
-    // Footer layout: [magic u32][nchunks u64][(offset,size) u64 pairs]
-    // [footer_start u64]; locate the first extent and blow up its size.
-    const std::size_t footer_len = 12 + 16 * nchunks + 8;
+    // Zoned footer layout: [magic u32][nchunks u64]
+    // [(offset,size,row_start,rows) u64 quads][footer_start u64];
+    // locate the first entry and blow up its size.
+    const std::size_t footer_len = 12 + 32 * nchunks + 8;
     const std::size_t first_extent = raw.size() - footer_len + 12;
     const std::uint64_t huge = ~std::uint64_t{0} / 2;
     std::memcpy(raw.data() + first_extent + 8, &huge, 8);
