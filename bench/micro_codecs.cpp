@@ -43,6 +43,22 @@ std::vector<std::uint32_t> code_stream() {
   return syms;
 }
 
+// Low-entropy quantizer-code stream: geometric symbol distribution over a
+// 64-symbol alphabet, so typical canonical code lengths are <= 5 bits. This
+// is the regime the double-symbol Huffman LUT packs two symbols per table
+// slot for; the `huffman_decode_lowent` row makes that win visible and
+// gateable (normalized in-run by `huffman_decode_reference_lowent`).
+std::vector<std::uint32_t> code_stream_lowent() {
+  Rng rng(6);
+  std::vector<std::uint32_t> syms(1 << 18);
+  for (auto& s : syms) {
+    std::uint32_t v = 0;
+    while (v < 63 && rng.next_double() < 0.5) ++v;
+    s = v;
+  }
+  return syms;
+}
+
 // Mixed runs/low-entropy segments: the corpus the LZ rows have always used.
 Bytes lz_corpus() {
   Rng rng(3);
@@ -106,6 +122,8 @@ int main(int argc, char** argv) {
 
   const auto syms = code_stream();
   const Bytes huff_blob = huffman_encode(syms, 65537);
+  const auto syms_lowent = code_stream_lowent();
+  const Bytes huff_blob_lowent = huffman_encode(syms_lowent, 64);
   const Bytes corpus = lz_corpus();
   const Bytes lz_blob = lz_compress(corpus);
   const Field& field = micro_field();
@@ -137,6 +155,15 @@ int main(int argc, char** argv) {
   rows.push_back(run_kernel(
       "huffman_decode_reference", reps, 0, static_cast<double>(syms.size()),
       [&] { return huffman_decode_reference(huff_blob).size(); }));
+
+  rows.push_back(run_kernel(
+      "huffman_decode_lowent", reps, 0,
+      static_cast<double>(syms_lowent.size()),
+      [&] { return huffman_decode(huff_blob_lowent).size(); }));
+  rows.push_back(run_kernel(
+      "huffman_decode_reference_lowent", reps, 0,
+      static_cast<double>(syms_lowent.size()),
+      [&] { return huffman_decode_reference(huff_blob_lowent).size(); }));
 
   rows.push_back(run_kernel(
       "lz_compress", reps, static_cast<double>(corpus.size()), 0,
@@ -192,6 +219,11 @@ int main(int argc, char** argv) {
   if (huffman_decode(huff_blob) != syms ||
       huffman_decode_reference(huff_blob) != syms) {
     std::fprintf(stderr, "FATAL: huffman round trip mismatch\n");
+    return 1;
+  }
+  if (huffman_decode(huff_blob_lowent) != syms_lowent ||
+      huffman_decode_reference(huff_blob_lowent) != syms_lowent) {
+    std::fprintf(stderr, "FATAL: low-entropy huffman round trip mismatch\n");
     return 1;
   }
   if (lz_decompress(lz_blob) != corpus) {

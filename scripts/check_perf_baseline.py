@@ -10,7 +10,8 @@ normalized throughputs:
     current_norm / baseline_norm  >=  1 - tolerance
 
 Paired gating kernels normalize against an in-binary reference of the same
-code path: huffman_decode against huffman_decode_reference
+code path: huffman_decode against huffman_decode_reference and
+huffman_decode_lowent against huffman_decode_reference_lowent
 (bench_micro_codecs), zone_decode (parallel full-field zone decode)
 against zone_decode_serial (bench_zone_scaling). Both halves of a pair run
 the identical payload in the same process seconds apart, which cancels
@@ -48,11 +49,13 @@ def main() -> int:
     ap.add_argument("--baseline", default="bench/baselines/BENCH_codecs.json")
     ap.add_argument("--current", default="BENCH_codecs.json")
     ap.add_argument("--kernel", action="append", default=None,
-                    help="gating kernel(s); default huffman_decode")
+                    help="gating kernel(s); default: huffman_decode, "
+                         "huffman_decode_lowent, sz2_roundtrip, lz_compress")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed normalized-throughput drop (default 0.25)")
     args = ap.parse_args()
-    gates = args.kernel or ["huffman_decode"]
+    gates = args.kernel or ["huffman_decode", "huffman_decode_lowent",
+                            "sz2_roundtrip", "lz_compress"]
 
     with open(args.baseline) as f:
         base = json.load(f)["kernels"]
@@ -61,8 +64,21 @@ def main() -> int:
 
     normalizers = {
         "huffman_decode": "huffman_decode_reference",
+        "huffman_decode_lowent": "huffman_decode_reference_lowent",
         "zone_decode": "zone_decode_serial",
     }
+
+    # A gated kernel absent from either file is a hard failure, not a
+    # skip: a renamed or dropped bench row would otherwise disable its
+    # gate silently and the check would keep "passing" forever.
+    for name in gates:
+        for side, kernels in (("baseline", base), ("current", cur)):
+            if name not in kernels:
+                raise SystemExit(
+                    f"gated kernel '{name}' missing from {side} bench "
+                    f"output — if the row was renamed, update the gate "
+                    f"list and refresh bench/baselines/ (see module "
+                    f"docstring)")
     # Backstop: the primary normalizer shares the bitstream substrate with
     # the gated kernel, so a substrate-wide slowdown cancels out of the
     # tight ratio; this looser memcpy-normalized bound still catches it.

@@ -330,18 +330,36 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
   result.reserve(s.count);
   if (decode_degenerate(s, &result)) return result;
 
-  // Single-level lookup table over the next kHuffmanLutBits stream bits:
-  // codes no longer than the table width decode with one peek + one load;
-  // longer (rare) codes and invalid prefixes fall into the per-bit
-  // canonical walk, which also carries the corrupt-stream checks. Entries
-  // whose prefix extends a long code — or no code at all — keep len == 0.
-  struct LutEntry {
+  // Single-level lookup table over the next kHuffmanLutBits stream bits
+  // with zstd-style multi-symbol packing: when the first code in the
+  // window is followed by a second complete code and their combined
+  // length still fits the table width, the entry carries BOTH decoded
+  // symbols, so one table load emits two symbols. Low-entropy
+  // quantizer-code streams (typical lengths <= 5 bits) take the double
+  // path almost every lookup. Longer (rare) codes and invalid prefixes
+  // fall into the per-bit canonical walk, which also carries the
+  // corrupt-stream checks. Entries whose prefix extends a long code — or
+  // no code at all — keep nsyms == 0.
+  struct Lut1Entry {
     std::uint32_t sym = 0;
     std::uint8_t len = 0;  // 0 => not decodable within the table width
   };
+  // 8-byte packed entry so the table stays 16 KiB (L1-resident) and the
+  // batch loop is branch-free: both symbols share one u32 (a packed pair
+  // always has combined length <= 11 bits; pairs whose symbol values do
+  // not fit 16 bits fall back to a single entry), and the loop writes
+  // dst[i] and dst[i+1] unconditionally, advancing i by nsyms — the
+  // second write is garbage for single entries and is overwritten by the
+  // next iteration.
+  struct LutEntry {
+    std::uint32_t syms = 0;  // single: sym; pair: sym0 | (sym1 << 16)
+    std::uint8_t len = 0;    // bits consumed when emitting nsyms symbols
+    std::uint8_t shr = 0;    // 0 for single, 16 for pair: sym0 mask shift
+    std::uint8_t nsyms = 0;  // 0 = fallback, 1 = single, 2 = packed pair
+  };
   // Fixed table width so the peek mask is a compile-time constant in the
   // decode loop; short codes replicate across the unused high index bits.
-  std::vector<LutEntry> lut(std::size_t{1} << kHuffmanLutBits);
+  std::vector<Lut1Entry> lut1(std::size_t{1} << kHuffmanLutBits);
   for (std::uint32_t idx = 0; idx < s.order.size(); ++idx) {
     const std::uint32_t sym = s.order[idx];
     const int len = s.lengths[sym];
@@ -353,7 +371,30 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
     // remaining high table bits maps to the same symbol.
     for (std::uint64_t hi = 0;
          hi < (std::uint64_t{1} << (kHuffmanLutBits - len)); ++hi)
-      lut[rev | (hi << len)] = {sym, static_cast<std::uint8_t>(len)};
+      lut1[rev | (hi << len)] = {sym, static_cast<std::uint8_t>(len)};
+  }
+  // Packing pass: after the first code, the remaining (width - len0) index
+  // bits are genuine stream bits; a second code is baked in only when it
+  // fits entirely inside them (len1 <= width - len0, i.e. a single-symbol
+  // lookup at the shifted index cannot have matched zero-padding).
+  std::vector<LutEntry> lut(std::size_t{1} << kHuffmanLutBits);
+  for (std::size_t idx = 0; idx < lut.size(); ++idx) {
+    const Lut1Entry e0 = lut1[idx];
+    if (e0.len == 0) continue;  // fallback entry
+    LutEntry e;
+    e.syms = e0.sym;
+    e.len = e0.len;
+    e.shr = 0;
+    e.nsyms = 1;
+    const Lut1Entry e1 = lut1[idx >> e0.len];
+    if (e1.len != 0 && e0.len + e1.len <= kHuffmanLutBits &&
+        e0.sym < 0x10000u && e1.sym < 0x10000u) {
+      e.syms = e0.sym | (e1.sym << 16);
+      e.len = static_cast<std::uint8_t>(e0.len + e1.len);
+      e.shr = 16;
+      e.nsyms = 2;
+    }
+    lut[idx] = e;
   }
 
   result.resize(s.count);
@@ -363,35 +404,37 @@ std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob) {
   std::uint64_t i = 0;
   while (i < s.count) {
     // One refill covers a batch of short codes: shift a local accumulator
-    // copy and commit the consumed total once, so the per-symbol work is a
-    // table load plus a shift.
+    // copy and commit the consumed total once, so the per-symbol work is
+    // (at most) a table load plus a shift — and half a load on streams
+    // where the double-symbol entries dominate. The i + 2 guard keeps the
+    // double-write in bounds and stops a pair entry from over-consuming
+    // past the final symbol.
     std::uint64_t acc = br.refill_acc();
     const int avail = br.bits_buffered();
-    if (avail < kHuffmanLutBits) {
-      // End-of-stream tail: the zero-padded peek path handles short reads.
-      const LutEntry e = lut[br.peek_bits(kHuffmanLutBits)];
-      if (e.len != 0) {
-        br.consume(e.len);
-        dst[i++] = e.sym;
-      } else {
-        dst[i++] = decode_symbol_slow(s, br);
+    if (avail >= kHuffmanLutBits && i + 2 <= s.count) {
+      int consumed = 0;
+      bool long_code = false;
+      while (i + 2 <= s.count && consumed + kHuffmanLutBits <= avail) {
+        const LutEntry e = lut[acc & lut_mask];
+        if (e.nsyms == 0) {
+          long_code = true;
+          break;
+        }
+        dst[i] = e.syms & (0xFFFFFFFFu >> e.shr);
+        dst[i + 1] = e.syms >> 16;  // garbage for singles; overwritten
+        i += e.nsyms;
+        acc >>= e.len;
+        consumed += e.len;
       }
+      br.consume(consumed);
+      if (long_code) dst[i++] = decode_symbol_slow(s, br);
       continue;
     }
-    int consumed = 0;
-    bool long_code = false;
-    while (i < s.count && consumed + kHuffmanLutBits <= avail) {
-      const LutEntry e = lut[acc & lut_mask];
-      if (e.len == 0) {
-        long_code = true;
-        break;
-      }
-      acc >>= e.len;
-      consumed += e.len;
-      dst[i++] = e.sym;
-    }
-    br.consume(consumed);
-    if (long_code) dst[i++] = decode_symbol_slow(s, br);
+    // Tail: fewer than kHuffmanLutBits buffered bits or a single symbol
+    // left. The canonical per-bit walk handles zero-padded short reads
+    // and carries the corrupt-stream checks; at most a handful of
+    // symbols ever take this path.
+    dst[i++] = decode_symbol_slow(s, br);
   }
   return result;
 }

@@ -1,7 +1,9 @@
 #include "common/field.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <type_traits>
 
 namespace eblcio {
 
@@ -17,18 +19,43 @@ std::span<const std::byte> Field::bytes() const {
 }
 
 Field::Range Field::value_range() const {
+  // Eight independent accumulator lanes so the scan vectorizes (the
+  // strict-compare ternary is exactly the minps/maxps hardware semantics,
+  // so no fast-math is needed). min/max are associative and commutative,
+  // so lane-splitting reorders the evaluation without changing the
+  // result; a NaN element never replaces an accumulator (strict compare
+  // is false), matching the skip in the scalar formulation, and a NaN
+  // first element poisons every lane just as it poisoned the scalar
+  // accumulator.
   return visit([](const auto& arr) {
     Field::Range r;
-    if (arr.num_elements() == 0) return r;
-    double lo = arr[0], hi = arr[0];
-    for (std::size_t i = 1; i < arr.num_elements(); ++i) {
-      const double v = arr[i];
-      if (std::isnan(v)) continue;
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
+    const std::size_t n = arr.num_elements();
+    if (n == 0) return r;
+    const auto* p = arr.data();
+    using T = std::remove_cvref_t<decltype(p[0])>;
+    constexpr std::size_t kLanes = 8;
+    std::array<T, kLanes> lo_l, hi_l;
+    lo_l.fill(p[0]);
+    hi_l.fill(p[0]);
+    std::size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        const T v = p[i + j];
+        lo_l[j] = v < lo_l[j] ? v : lo_l[j];
+        hi_l[j] = v > hi_l[j] ? v : hi_l[j];
+      }
+    T lo = lo_l[0], hi = hi_l[0];
+    for (std::size_t j = 1; j < kLanes; ++j) {
+      lo = lo_l[j] < lo ? lo_l[j] : lo;
+      hi = hi_l[j] > hi ? hi_l[j] : hi;
     }
-    r.min = lo;
-    r.max = hi;
+    for (; i < n; ++i) {
+      const T v = p[i];
+      lo = v < lo ? v : lo;
+      hi = v > hi ? v : hi;
+    }
+    r.min = static_cast<double>(lo);
+    r.max = static_cast<double>(hi);
     return r;
   });
 }

@@ -74,8 +74,18 @@ double interp_predict(const Grid& g, const T* recon,
   return 0.0;
 }
 
-// Visits every interpolation target in deterministic order. The visitor is
-// called as f(coords, lin, dim, half, level).
+// Visits every interpolation target in deterministic order, one d3 row at
+// a time. The visitor is called as f(coords, row_base, dim, half, level,
+// start3, step3) and iterates c3 = start3, start3+step3, ... itself — the
+// element order (and hence every code/unpredictable stream) is identical
+// to the per-element traversal this replaces. Handing out whole rows lets
+// the callbacks hoist the per-level quantizer and the boundary predicate
+// (constant along the row when d < 3) out of the element loop.
+//
+// Within one (s, d) pass, targets sit at odd multiples of h along dim d
+// while their interpolation neighbours sit at even multiples (previous
+// levels): no target of a pass is a neighbour of another target of the
+// same pass, so the pass is data-independent and row batching is safe.
 template <typename F>
 void traverse(const Grid& g, std::size_t anchor_stride, F&& f) {
   int level = 0;
@@ -108,11 +118,108 @@ void traverse(const Grid& g, std::size_t anchor_stride, F&& f) {
             const std::size_t base = c[0] * g.stride[0] +
                                      c[1] * g.stride[1] +
                                      c[2] * g.stride[2];
-            for (c[3] = start[3]; c[3] < g.dim[3]; c[3] += step[3])
-              f(c, base + c[3], d, h, level);
+            f(c, base, d, h, level, start[3], step[3]);
           }
     }
   }
+}
+
+// Row-batched predictions for a pass refining d < 3: the interp_predict
+// predicate depends only on c[d], h and dim[d] — constant along the d3
+// row — so each boundary case becomes its own branch-free sweep over the
+// row's targets. Expression-for-expression the same arithmetic as
+// interp_predict, so predictions are bit-identical.
+template <typename T>
+void interp_predict_row(const Grid& g, const T* recon,
+                        const std::array<std::size_t, 4>& c, int d,
+                        std::size_t h, bool cubic, std::size_t base,
+                        std::size_t start3, std::size_t step3,
+                        double* pred) {
+  const std::size_t off = h * g.stride[d];
+  const std::size_t cd = c[d];
+  const std::size_t nd = g.dim[d];
+  const std::size_t n3 = g.dim[3];
+  std::size_t i = 0;
+  if (cubic && cd >= 3 * h && cd + 3 * h < nd) {
+    const std::size_t off3 = 3 * off;
+    for (std::size_t c3 = start3; c3 < n3; c3 += step3, ++i) {
+      const std::size_t lin = base + c3;
+      const double fm3 = static_cast<double>(recon[lin - off3]);
+      const double fm1 = static_cast<double>(recon[lin - off]);
+      const double fp1 = static_cast<double>(recon[lin + off]);
+      const double fp3 = static_cast<double>(recon[lin + off3]);
+      pred[i] = (-fm3 + 9.0 * fm1 + 9.0 * fp1 - fp3) / 16.0;
+    }
+  } else if (cd >= h && cd + h < nd) {
+    for (std::size_t c3 = start3; c3 < n3; c3 += step3, ++i) {
+      const std::size_t lin = base + c3;
+      pred[i] = 0.5 * (static_cast<double>(recon[lin - off]) +
+                       static_cast<double>(recon[lin + off]));
+    }
+  } else if (cd >= h) {
+    for (std::size_t c3 = start3; c3 < n3; c3 += step3, ++i)
+      pred[i] = static_cast<double>(recon[base + c3 - off]);
+  } else if (cd + h < nd) {
+    for (std::size_t c3 = start3; c3 < n3; c3 += step3, ++i)
+      pred[i] = static_cast<double>(recon[base + c3 + off]);
+  } else {
+    for (std::size_t c3 = start3; c3 < n3; c3 += step3, ++i) pred[i] = 0.0;
+  }
+}
+
+// Predictions for a pass refining d == 3: the predicate varies with c3,
+// but the cubic window [3h, n3-3h) is one contiguous middle range — the
+// few edge targets go through the per-element helper, the interior gets a
+// tight data-independent sweep. Predicate tests match interp_predict's
+// exactly, so every element lands in the same branch with the same
+// arithmetic.
+template <typename T>
+void interp_predict_row_d3(const Grid& g, const T* recon,
+                           std::array<std::size_t, 4> c, std::size_t h,
+                           bool cubic, std::size_t base, std::size_t start3,
+                           std::size_t step3, double* pred) {
+  const std::size_t n3 = g.dim[3];
+  std::size_t i = 0;
+  std::size_t c3 = start3;
+  if (cubic) {
+    for (; c3 < n3 && c3 < 3 * h; c3 += step3, ++i) {
+      c[3] = c3;
+      pred[i] = interp_predict(g, recon, c, 3, h, cubic, base + c3);
+    }
+    for (; c3 + 3 * h < n3; c3 += step3, ++i) {
+      const std::size_t lin = base + c3;
+      const double fm3 = static_cast<double>(recon[lin - 3 * h]);
+      const double fm1 = static_cast<double>(recon[lin - h]);
+      const double fp1 = static_cast<double>(recon[lin + h]);
+      const double fp3 = static_cast<double>(recon[lin + 3 * h]);
+      pred[i] = (-fm3 + 9.0 * fm1 + 9.0 * fp1 - fp3) / 16.0;
+    }
+  } else {
+    // Linear window: targets start at c3 = h, so only the right edge
+    // needs the per-element fallback.
+    for (; c3 >= h && c3 + h < n3; c3 += step3, ++i) {
+      const std::size_t lin = base + c3;
+      pred[i] = 0.5 * (static_cast<double>(recon[lin - h]) +
+                       static_cast<double>(recon[lin + h]));
+    }
+  }
+  for (; c3 < n3; c3 += step3, ++i) {
+    c[3] = c3;
+    pred[i] = interp_predict(g, recon, c, 3, h, cubic, base + c3);
+  }
+}
+
+// Dispatches a row to the d < 3 uniform-predicate sweep or the d == 3
+// segmented sweep.
+template <typename T>
+void predict_row(const Grid& g, const T* recon,
+                 const std::array<std::size_t, 4>& c, int d, std::size_t h,
+                 bool cubic, std::size_t base, std::size_t start3,
+                 std::size_t step3, double* pred) {
+  if (d < 3)
+    interp_predict_row(g, recon, c, d, h, cubic, base, start3, step3, pred);
+  else
+    interp_predict_row_d3(g, recon, c, h, cubic, base, start3, step3, pred);
 }
 
 double level_eb(double abs_eb, double gamma, int level) {
@@ -160,22 +267,36 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
           recon[lin] = data[lin];
         }
 
+  // Per-level quantizers built once: the constructor's reciprocal divide
+  // was previously paid per element.
   const auto leb = level_eb_table(abs_eb, config.level_gamma);
+  std::vector<LinearQuantizer> quants;
+  quants.reserve(leb.size());
+  for (double eb : leb) quants.emplace_back(eb, kRadius);
+  std::vector<double> predbuf(g.dim[3]);
+
   traverse(g, anchor_stride,
-           [&](const std::array<std::size_t, 4>& c, std::size_t lin, int d,
-               std::size_t h, int level) {
-             const double pred = interp_predict(g, recon.data(), c, d, h,
-                                                config.cubic, lin);
-             const LinearQuantizer quant(leb[level], kRadius);
-             const double x = static_cast<double>(data[lin]);
-             double r = 0.0;
-             const std::uint32_t code = quant.quantize<T>(x, pred, &r);
-             if (code == 0) {
-               append_pod<T>(enc.unpred, static_cast<T>(x));
-               r = x;
+           [&](const std::array<std::size_t, 4>& c, std::size_t base, int d,
+               std::size_t h, int level, std::size_t start3,
+               std::size_t step3) {
+             predict_row(g, recon.data(), c, d, h, config.cubic, base,
+                         start3, step3, predbuf.data());
+             const LinearQuantizer& quant = quants[level];
+             std::size_t i = 0;
+             for (std::size_t c3 = start3; c3 < g.dim[3];
+                  c3 += step3, ++i) {
+               const std::size_t lin = base + c3;
+               const double x = static_cast<double>(data[lin]);
+               double r = 0.0;
+               const std::uint32_t code =
+                   quant.quantize<T>(x, predbuf[i], &r);
+               if (code == 0) {
+                 append_pod<T>(enc.unpred, static_cast<T>(x));
+                 r = x;
+               }
+               recon[lin] = static_cast<T>(r);
+               enc.codes.push_back(code);
              }
-             recon[lin] = static_cast<T>(r);
-             enc.codes.push_back(code);
            });
   return enc;
 }
@@ -212,23 +333,37 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
 
   std::size_t code_idx = 0;
   const auto leb = level_eb_table(abs_eb, config.level_gamma);
+  std::vector<LinearQuantizer> quants;
+  quants.reserve(leb.size());
+  for (double eb : leb) quants.emplace_back(eb, kRadius);
+  std::vector<double> predbuf(g.dim[3]);
+
   traverse(g, anchor_stride,
-           [&](const std::array<std::size_t, 4>& c, std::size_t lin, int d,
-               std::size_t h, int level) {
-             EBLCIO_CHECK_STREAM(code_idx < codes.size(),
-                                 "interp: code stream underrun");
-             const std::uint32_t code = codes[code_idx++];
-             T out;
-             if (code == 0) {
-               out = unpred_r.read_pod<T>();
-             } else {
-               const double pred = interp_predict(g, recon.data(), c, d, h,
-                                                  config.cubic, lin);
-               const LinearQuantizer quant(leb[level], kRadius);
-               out = static_cast<T>(quant.recover(pred, code));
+           [&](const std::array<std::size_t, 4>& c, std::size_t base, int d,
+               std::size_t h, int level, std::size_t start3,
+               std::size_t step3) {
+             // Predictions read only previous-level recon values, so
+             // computing the whole row up front (including slots that turn
+             // out unpredictable, where the value goes unused) is safe.
+             predict_row(g, recon.data(), c, d, h, config.cubic, base,
+                         start3, step3, predbuf.data());
+             const LinearQuantizer& quant = quants[level];
+             std::size_t i = 0;
+             for (std::size_t c3 = start3; c3 < g.dim[3];
+                  c3 += step3, ++i) {
+               EBLCIO_CHECK_STREAM(code_idx < codes.size(),
+                                   "interp: code stream underrun");
+               const std::uint32_t code = codes[code_idx++];
+               const std::size_t lin = base + c3;
+               T out;
+               if (code == 0) {
+                 out = unpred_r.read_pod<T>();
+               } else {
+                 out = static_cast<T>(quant.recover(predbuf[i], code));
+               }
+               recon[lin] = out;
+               arr[lin] = out;
              }
-             recon[lin] = out;
-             arr[lin] = out;
            });
   EBLCIO_CHECK_STREAM(code_idx == codes.size(),
                       "interp: code stream overrun");

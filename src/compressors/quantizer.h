@@ -15,6 +15,22 @@
 
 namespace eblcio {
 
+// Branch-free round-to-nearest with halves away from zero — bit-exact with
+// std::llround for |x| < 2^51 (proven against llround over adversarial tie
+// and ulp-neighbour inputs in test_quantizer), but inlineable and
+// auto-vectorizable: no libm call, and both fixups compile to selects. The
+// magic add/sub snaps x to the nearest-even integer exactly; d = x - y is
+// then exact, so the only inputs nearest-even and llround disagree on —
+// exact .5 ties — are detected and bumped away from zero.
+inline double round_half_away(double x) {
+  constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52
+  const double y = (x + kMagic) - kMagic;
+  const double d = x - y;
+  const double up = (d == 0.5) & (x > 0.0) ? 1.0 : 0.0;
+  const double dn = (d == -0.5) & (x < 0.0) ? 1.0 : 0.0;
+  return (y + up) - dn;
+}
+
 class LinearQuantizer {
  public:
   // `abs_eb` is the absolute per-element error bound; `radius` gives code
@@ -55,11 +71,76 @@ class LinearQuantizer {
     // unaffected: recover() never uses the reciprocal.
     const double qf = diff * inv_eb2_;
     if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
-    const auto q = static_cast<std::int64_t>(std::llround(qf));
+    const auto q = static_cast<std::int64_t>(round_half_away(qf));
     const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
     if (std::fabs(static_cast<double>(cast) - value) > eb_) return 0;
     *recon = static_cast<double>(cast);
     return static_cast<std::uint32_t>(q + static_cast<std::int64_t>(radius_));
+  }
+
+  // Batch quantization of a regression-predicted row: pred_k = row0 +
+  // slope*k. Regression rows have no reconstruction feedback (unlike
+  // Lorenzo), so the loop is stride-1 and branch-free — written for the
+  // auto-vectorizer. Writes codes[k] and recon[k]; a code-0 slot leaves
+  // recon[k] = data[k] (exactly what the decompressor's unpredictable
+  // path materializes) and the caller appends data[k] to its
+  // unpredictable stream. Bit-identical to calling quantize<T>(data[k],
+  // row0 + slope*k, ...) per element: round_half_away is the rounding
+  // used there, and every other operation is the same expression.
+  template <typename T>
+  void quantize_row(const T* data, std::size_t n, double row0, double slope,
+                    std::uint32_t* codes, T* recon) const {
+    if (eb2_ <= 0.0) {  // degenerate bound: per-element scalar fallback
+      for (std::size_t k = 0; k < n; ++k) {
+        const double x = static_cast<double>(data[k]);
+        double r = x;
+        codes[k] = quantize<T>(x, row0 + slope * static_cast<double>(k), &r);
+        recon[k] = static_cast<T>(r);
+      }
+      return;
+    }
+    const double rad_guard = static_cast<double>(radius_) - 1;
+    // int32 induction: signed int->double is the one conversion SSE2
+    // vectorizes (u64->double lowers to a branchy sequence that blocks
+    // the vectorizer). Rows are dimension extents, far below 2^31.
+    const auto ni = static_cast<std::int32_t>(n);
+    for (std::int32_t k = 0; k < ni; ++k) {
+      const double x = static_cast<double>(data[k]);
+      const double pred = row0 + slope * static_cast<double>(k);
+      const double qf = (x - pred) * inv_eb2_;
+      // The select to 0.0 keeps the int conversion below defined even for
+      // wildly out-of-range qf (scalar quantize() never reaches it); the
+      // bitwise & (not &&) keeps the body branch-free for the vectorizer.
+      const bool in_range = std::fabs(qf) < rad_guard;
+      const double qd = round_half_away(in_range ? qf : 0.0);
+      const T cast = static_cast<T>(pred + qd * eb2_);
+      const bool ok =
+          in_range & (std::fabs(static_cast<double>(cast) - x) <= eb_);
+      codes[k] = ok ? static_cast<std::uint32_t>(
+                          static_cast<std::int32_t>(qd) +
+                          static_cast<std::int32_t>(radius_))
+                    : 0u;
+      recon[k] = ok ? cast : data[k];
+    }
+  }
+
+  // Batch recovery of a regression-predicted row. Code-0 slots get a
+  // finite garbage value the caller overwrites from its unpredictable
+  // stream; nonzero slots are bit-identical to static_cast<T>(
+  // recover(row0 + slope*k, code)).
+  template <typename T>
+  void recover_row(const std::uint32_t* codes, std::size_t n, double row0,
+                   double slope, T* out) const {
+    const double rad = static_cast<double>(radius_);
+    const auto ni = static_cast<std::int32_t>(n);  // see quantize_row
+    for (std::int32_t k = 0; k < ni; ++k) {
+      const double pred = row0 + slope * static_cast<double>(k);
+      // Codes are < 2^17, so the int32 detour is exact — and signed
+      // int->double is the conversion SSE2 vectorizes.
+      const double q =
+          static_cast<double>(static_cast<std::int32_t>(codes[k])) - rad;
+      out[k] = static_cast<T>(pred + q * eb2_);
+    }
   }
 
   // Inverse mapping for a nonzero code; the caller casts the result to T

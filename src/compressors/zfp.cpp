@@ -25,24 +25,47 @@ constexpr int kEmaxBias = 2048;
 // ---------------------------------------------------------------------------
 // Lifted transform (the ZFP non-orthogonal transform; matrix in TVCG'14).
 
+// Lifting arithmetic runs on uint64 with explicit wrapping (right shifts
+// detour through int64 to stay arithmetic). For in-range blocks — every
+// block the block-float scaling produces, per the guard-bit argument
+// above — this is bit-identical to plain signed arithmetic; for a forged
+// stream whose coefficients escape that range it wraps deterministically
+// instead of tripping signed-overflow UB (the round-trip check downstream
+// rejects such blocks either way).
+inline std::uint64_t sra1(std::uint64_t v) {
+  return static_cast<std::uint64_t>(static_cast<std::int64_t>(v) >> 1);
+}
+
 void fwd_lift(std::int64_t* p, std::size_t s) {
-  std::int64_t x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
-  p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+  std::uint64_t x = static_cast<std::uint64_t>(p[0]);
+  std::uint64_t y = static_cast<std::uint64_t>(p[s]);
+  std::uint64_t z = static_cast<std::uint64_t>(p[2 * s]);
+  std::uint64_t w = static_cast<std::uint64_t>(p[3 * s]);
+  x += w; x = sra1(x); w -= x;
+  z += y; z = sra1(z); y -= z;
+  x += z; x = sra1(x); z -= x;
+  w += y; w = sra1(w); y -= w;
+  w += sra1(y); y -= sra1(w);
+  p[0] = static_cast<std::int64_t>(x);
+  p[s] = static_cast<std::int64_t>(y);
+  p[2 * s] = static_cast<std::int64_t>(z);
+  p[3 * s] = static_cast<std::int64_t>(w);
 }
 
 void inv_lift(std::int64_t* p, std::size_t s) {
-  std::int64_t x = p[0], y = p[s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
+  std::uint64_t x = static_cast<std::uint64_t>(p[0]);
+  std::uint64_t y = static_cast<std::uint64_t>(p[s]);
+  std::uint64_t z = static_cast<std::uint64_t>(p[2 * s]);
+  std::uint64_t w = static_cast<std::uint64_t>(p[3 * s]);
+  y += sra1(w); w -= sra1(y);
   y += w; w <<= 1; w -= y;
   z += x; x <<= 1; x -= z;
   y += z; z <<= 1; z -= y;
   w += x; x <<= 1; x -= w;
-  p[0] = x; p[s] = y; p[2 * s] = z; p[3 * s] = w;
+  p[0] = static_cast<std::int64_t>(x);
+  p[s] = static_cast<std::int64_t>(y);
+  p[2 * s] = static_cast<std::int64_t>(z);
+  p[3 * s] = static_cast<std::int64_t>(w);
 }
 
 // Applies the transform along every dimension of a 4^d block.

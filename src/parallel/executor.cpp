@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <fstream>
 #include <functional>
+#include <string>
 
 #include "common/error.h"
 #include "common/rng.h"
@@ -12,12 +14,55 @@ namespace eblcio {
 thread_local Executor* Executor::tl_executor_ = nullptr;
 thread_local Executor::Worker* Executor::tl_worker_ = nullptr;
 
-Executor::Executor(int threads, std::size_t queue_capacity)
+int Executor::detect_pods() {
+  // The online-node list ("0", "0-3", "0,2-3", ...) counts the machine's
+  // populated NUMA nodes. Any parse or open failure degrades to a single
+  // pod — exactly the pre-pod stealing behavior.
+  std::ifstream f("/sys/devices/system/node/online");
+  if (!f) return 1;
+  std::string spec;
+  if (!std::getline(f, spec) || spec.empty()) return 1;
+  int nodes = 0;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t next = spec.find(',', pos);
+    if (next == std::string::npos) next = spec.size();
+    const std::string item = spec.substr(pos, next - pos);
+    const std::size_t dash = item.find('-');
+    try {
+      if (dash == std::string::npos) {
+        nodes += 1;
+      } else {
+        const long lo = std::stol(item.substr(0, dash));
+        const long hi = std::stol(item.substr(dash + 1));
+        if (hi < lo) return 1;
+        nodes += static_cast<int>(hi - lo + 1);
+      }
+    } catch (...) {
+      return 1;
+    }
+    pos = next + 1;
+  }
+  return std::max(1, nodes);
+}
+
+int Executor::pod_of_slot(int slot) const {
+  // Base workers split into contiguous pods (mirroring how node-bound
+  // threads would be laid out); temporary replacement workers round-robin
+  // so blocking-heavy phases don't pile every replacement into pod 0.
+  if (slot < base_workers_)
+    return static_cast<int>((static_cast<long long>(slot) * npods_) /
+                            base_workers_);
+  return slot % npods_;
+}
+
+Executor::Executor(int threads, std::size_t queue_capacity, int pods)
     : base_workers_(threads > 0
                         ? threads
                         : std::max(2u, std::thread::hardware_concurrency())),
       queue_capacity_(queue_capacity),
-      max_workers_(base_workers_ + 4096) {
+      max_workers_(base_workers_ + 4096),
+      npods_(std::clamp(pods > 0 ? pods : detect_pods(), 1, base_workers_)) {
   EBLCIO_CHECK_ARG(queue_capacity >= 1, "queue capacity must be positive");
   slots_.resize(max_workers_);
   threads_.resize(max_workers_);
@@ -55,6 +100,7 @@ bool Executor::spawn_worker_locked() {
     slot = published_workers_.load();
     if (slot >= max_workers_) return false;  // pool at its hard cap
     slots_[slot] = std::make_unique<Worker>();
+    slots_[slot]->pod = pod_of_slot(slot);
     published_workers_.store(slot + 1);  // publish after construction
   } else if (threads_[slot].joinable()) {
     threads_[slot].join();  // reap the retired thread that used this slot
@@ -173,29 +219,42 @@ bool Executor::try_pop_injection(Task& out) {
 bool Executor::try_steal(const Worker* self, Task& out) {
   const int published = published_workers_.load();
   if (published <= 0) return false;
-  // Randomized victim selection (first step of the locality roadmap item):
-  // scanning upward from slot 0 made every thief hammer worker 0's deque
-  // lock first, so under fan-out from one producer all thieves serialized
-  // on the same mutex. A per-thread random starting slot spreads the scan
-  // pressure uniformly across victims; the circular scan still visits
-  // every published worker, so no queued task is ever missed.
+  // Randomized victim selection: scanning upward from slot 0 made every
+  // thief hammer worker 0's deque lock first, so under fan-out from one
+  // producer all thieves serialized on the same mutex. A per-thread random
+  // starting slot spreads the scan pressure uniformly across victims; the
+  // circular scan still visits every published worker, so no queued task
+  // is ever missed.
+  //
+  // Locality pods layer on top: pass 0 considers only same-pod victims,
+  // pass 1 only cross-pod ones. A stolen task's working set was touched by
+  // its producer, so preferring a victim on the thief's own memory node
+  // keeps the refetch on-node; the cross-pod pass preserves full work
+  // conservation when the local pod is dry.
   static thread_local Rng steal_rng(
       0x9e3779b97f4a7c15ULL ^
       static_cast<std::uint64_t>(
           std::hash<std::thread::id>{}(std::this_thread::get_id())));
   const int start = static_cast<int>(
       steal_rng.next_below(static_cast<std::uint64_t>(published)));
-  for (int k = 0; k < published; ++k) {
-    const int i = start + k < published ? start + k : start + k - published;
-    Worker* victim = slots_[i].get();
-    if (victim == self) continue;
-    std::lock_guard<std::mutex> lock(victim->mu);
-    if (victim->deque.empty()) continue;
-    out = std::move(victim->deque.front());  // FIFO end: oldest task
-    victim->deque.pop_front();
-    queued_.fetch_sub(1);
-    steals_.fetch_add(1);
-    return true;
+  const int passes = npods_ > 1 ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int k = 0; k < published; ++k) {
+      const int i =
+          start + k < published ? start + k : start + k - published;
+      Worker* victim = slots_[i].get();
+      if (victim == self) continue;
+      const bool same_pod = victim->pod == self->pod;
+      if (npods_ > 1 && same_pod != (pass == 0)) continue;
+      std::lock_guard<std::mutex> lock(victim->mu);
+      if (victim->deque.empty()) continue;
+      out = std::move(victim->deque.front());  // FIFO end: oldest task
+      victim->deque.pop_front();
+      queued_.fetch_sub(1);
+      steals_.fetch_add(1);
+      (same_pod ? pod_local_steals_ : pod_remote_steals_).fetch_add(1);
+      return true;
+    }
   }
   return false;
 }
@@ -287,9 +346,12 @@ ExecutorStats Executor::stats() const {
   s.tasks_completed = tasks_completed_.load();
   s.task_seconds = task_seconds_.load();
   s.steals = steals_.load();
+  s.pod_local_steals = pod_local_steals_.load();
+  s.pod_remote_steals = pod_remote_steals_.load();
   s.help_runs = help_runs_.load();
   s.submit_waits = submit_waits_.load();
   s.workers = alive_workers_.load();
+  s.pods = npods_;
   return s;
 }
 

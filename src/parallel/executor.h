@@ -36,9 +36,12 @@ struct ExecutorStats {
   std::uint64_t tasks_completed = 0;
   double task_seconds = 0.0;       // summed per-task wall clock
   std::uint64_t steals = 0;        // tasks taken from another worker's deque
+  std::uint64_t pod_local_steals = 0;   // steals from a same-pod victim
+  std::uint64_t pod_remote_steals = 0;  // steals that crossed a pod boundary
   std::uint64_t help_runs = 0;     // tasks run inline by a waiting thread
   std::uint64_t submit_waits = 0;  // submissions throttled by backpressure
   int workers = 0;                 // workers currently alive
+  int pods = 0;                    // locality pods the workers split into
   double avg_task_seconds() const {
     return tasks_completed ? task_seconds / tasks_completed : 0.0;
   }
@@ -51,7 +54,14 @@ class Executor {
   // threads <= 0 picks the hardware concurrency (at least 2 so producer/
   // consumer pipelines overlap even on one-core hosts). queue_capacity
   // bounds the external injection queue; full-queue submissions block.
-  explicit Executor(int threads = 0, std::size_t queue_capacity = 4096);
+  // pods <= 0 auto-detects the machine's NUMA node count (1 when sysfs is
+  // unavailable); pods > 0 forces that many locality pods. Workers split
+  // into contiguous pods and thieves scan same-pod victims before crossing
+  // a pod boundary, so under plentiful work tasks tend to stay on the
+  // memory node that spawned them; cross-pod stealing still happens
+  // whenever a pod runs dry, so no task is ever stranded.
+  explicit Executor(int threads = 0, std::size_t queue_capacity = 4096,
+                    int pods = 0);
   ~Executor();
 
   Executor(const Executor&) = delete;
@@ -62,6 +72,9 @@ class Executor {
 
   // Base worker count (excludes temporary replacements for blocked tasks).
   int concurrency() const { return base_workers_; }
+
+  // Number of locality pods the workers are partitioned into.
+  int pods() const { return npods_; }
 
   ExecutorStats stats() const;
 
@@ -93,8 +106,11 @@ class Executor {
   struct Worker {
     std::mutex mu;
     std::deque<Task> deque;
+    int pod = 0;  // locality pod; fixed at slot creation
   };
 
+  static int detect_pods();    // NUMA node count from sysfs; 1 on failure
+  int pod_of_slot(int slot) const;
   bool spawn_worker_locked();  // requires spawn_mu_; false at the hard cap
   void worker_loop(Worker* self, int slot);
   void run_task(Task& task);
@@ -118,6 +134,7 @@ class Executor {
   const int base_workers_;
   const std::size_t queue_capacity_;
   const int max_workers_;
+  const int npods_;
 
   // Worker slots are pre-sized so stealers can scan without locking the
   // slot array; slots [0, alive_workers_) are populated.
@@ -148,6 +165,8 @@ class Executor {
   std::atomic<std::uint64_t> tasks_completed_{0};
   std::atomic<double> task_seconds_{0.0};
   std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> pod_local_steals_{0};
+  std::atomic<std::uint64_t> pod_remote_steals_{0};
   std::atomic<std::uint64_t> help_runs_{0};
   std::atomic<std::uint64_t> submit_waits_{0};
 };

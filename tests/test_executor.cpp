@@ -185,5 +185,61 @@ TEST(Executor, RejectsZeroCapacity) {
   EXPECT_THROW(Executor(1, 0), InvalidArgument);
 }
 
+TEST(Executor, PodCountDetectsOrOverrides) {
+  // Auto-detection must land on at least one pod, and never more pods
+  // than workers.
+  Executor auto_ex(4);
+  EXPECT_GE(auto_ex.pods(), 1);
+  EXPECT_LE(auto_ex.pods(), 4);
+  // Explicit override wins, clamped to the worker count.
+  EXPECT_EQ(Executor(4, 4096, 2).pods(), 2);
+  EXPECT_EQ(Executor(2, 4096, 8).pods(), 2);
+  EXPECT_EQ(Executor(4, 4096, 2).stats().pods, 2);
+}
+
+TEST(Executor, PoddedPoolCompletesFanOutAndAccountsSteals) {
+  // Two pods over four workers; one producer task floods its own deque so
+  // every other worker must steal. All tasks must still run exactly once
+  // (cross-pod stealing keeps work conserved), and every steal is
+  // classified as exactly one of pod-local / pod-remote.
+  Executor ex(4, 4096, 2);
+  const auto before = ex.stats();
+  std::atomic<int> count{0};
+  const int n = 5000;
+  TaskGroup outer(ex);
+  outer.run([&] {
+    TaskGroup inner(ex);
+    for (int i = 0; i < n; ++i)
+      inner.run([&] {
+        count.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::microseconds(1));
+      });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(count.load(), n);
+  const auto after = ex.stats();
+  EXPECT_EQ(after.steals - before.steals,
+            (after.pod_local_steals - before.pod_local_steals) +
+                (after.pod_remote_steals - before.pod_remote_steals));
+}
+
+TEST(Executor, SinglePodClassifiesAllStealsLocal) {
+  Executor ex(3, 4096, 1);
+  std::atomic<int> count{0};
+  TaskGroup outer(ex);
+  outer.run([&] {
+    TaskGroup inner(ex);
+    for (int i = 0; i < 2000; ++i) inner.run([&] { count.fetch_add(1); });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(count.load(), 2000);
+  const auto s = ex.stats();
+  EXPECT_EQ(s.pods, 1);
+  EXPECT_EQ(s.pod_remote_steals, 0u);
+  EXPECT_EQ(s.pod_local_steals, s.steals);
+}
+
 }  // namespace
 }  // namespace eblcio

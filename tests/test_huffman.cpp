@@ -222,6 +222,134 @@ TEST(HuffmanDifferential, OverflowSafeCountGuard) {
   EXPECT_THROW(huffman_decode_reference(blob), CorruptStream);
 }
 
+// The double-symbol LUT packs two decoded symbols into one table slot when
+// their combined code length fits the table width. These differentials
+// stress that packing specifically: streams dominated by short codes (pair
+// hits on nearly every lookup), odd symbol counts (the decode loop's
+// last-symbol guard must refuse a pair write past the end), and symbols
+// too wide for the packed u16 fields.
+
+TEST(HuffmanDifferential, LowEntropyGeometricPairsEveryParity) {
+  Rng rng(123);
+  for (int round = 0; round < 12; ++round) {
+    // Geometric symbols: the top few codes are 1-3 bits, so most LUT slots
+    // hold packed pairs. Vary the count by round so streams end on every
+    // parity and the i+2<=count guard sees both final shapes.
+    std::vector<std::uint32_t> syms;
+    const int count = 3001 + round;  // odd and even totals
+    for (int i = 0; i < count; ++i) {
+      std::uint32_t v = 0;
+      while (v < 63 && rng.next_double() < 0.5) ++v;
+      syms.push_back(v);
+    }
+    const Bytes blob = huffman_encode(syms, 64);
+    const auto fast = huffman_decode(blob);
+    const auto slow = huffman_decode_reference(blob);
+    ASSERT_EQ(fast, slow) << "round " << round;
+    ASSERT_EQ(fast, syms) << "round " << round;
+  }
+}
+
+TEST(HuffmanDifferential, TinyCountsNeverPairPastEnd) {
+  // Counts 1..8 over a pair-heavy alphabet: the shortest streams are all
+  // tail for the pair loop, so any out-of-bounds second write would land
+  // on the result vector's edge.
+  Rng rng(7);
+  for (int count = 1; count <= 8; ++count) {
+    std::vector<std::uint32_t> syms;
+    for (int i = 0; i < count; ++i)
+      syms.push_back(static_cast<std::uint32_t>(rng.next_below(4)));
+    const Bytes blob = huffman_encode(syms, 4);
+    EXPECT_EQ(huffman_decode(blob), syms) << "count " << count;
+    EXPECT_EQ(huffman_decode_reference(blob), syms) << "count " << count;
+  }
+}
+
+TEST(HuffmanDifferential, WideSymbolsFallBackToSingleSlots) {
+  // Symbols >= 2^16 cannot pack into the LUT's u16 pair fields. Use the
+  // quantizer-shaped alphabet (65537 symbols) with the widest symbol as
+  // the most frequent: its code is short enough to pair by length, so the
+  // width check is the only thing keeping it on the single-symbol path.
+  Rng rng(31);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 6000; ++i) {
+    const auto r = rng.next_below(10);
+    if (r < 6) {
+      syms.push_back(65536u);
+    } else if (r < 9) {
+      syms.push_back(32768u);
+    } else {
+      syms.push_back(static_cast<std::uint32_t>(rng.next_below(65537)));
+    }
+  }
+  const Bytes blob = huffman_encode(syms, 65537);
+  const auto fast = huffman_decode(blob);
+  EXPECT_EQ(fast, huffman_decode_reference(blob));
+  EXPECT_EQ(fast, syms);
+}
+
+TEST(HuffmanDifferential, PairAndSlowPathInterleave) {
+  // Fibonacci frequencies again, but with the common (short-code) symbols
+  // dominating: decode alternates between packed-pair hits and the
+  // canonical slow path for the >11-bit codes, exercising the
+  // consumed-bits bookkeeping across the transition.
+  const int n = 48;
+  std::vector<std::uint64_t> freqs(n);
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < n; ++i) {
+    freqs[i] = a;
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  ASSERT_EQ(*std::max_element(lengths.begin(), lengths.end()),
+            kMaxHuffmanBits);
+  Rng rng(271);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 20001; ++i) {  // odd count
+    if (rng.next_below(16) == 0) {
+      // a rare, long-code symbol
+      syms.push_back(static_cast<std::uint32_t>(rng.next_below(8)));
+    } else {
+      // a frequent, short-code symbol (high Fibonacci index)
+      syms.push_back(static_cast<std::uint32_t>(
+          n - 1 - rng.next_below(6)));
+    }
+  }
+  const Bytes blob = huffman_encode(syms, n);
+  const auto fast = huffman_decode(blob);
+  EXPECT_EQ(fast, huffman_decode_reference(blob));
+  EXPECT_EQ(fast, syms);
+}
+
+TEST(HuffmanDifferential, ForgedCountTruncatesInsidePairRun) {
+  // Shrink the header count so decoding must stop mid-stream: both
+  // decoders return exactly `forged` symbols, agree on them, and never
+  // read past the adjusted count even when the cut lands between the two
+  // symbols of a packed pair.
+  Rng rng(43);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 4096; ++i) {
+    std::uint32_t v = 0;
+    while (v < 63 && rng.next_double() < 0.5) ++v;
+    syms.push_back(v);
+  }
+  const Bytes good = huffman_encode(syms, 64);
+  for (const std::uint64_t forged : {std::uint64_t{4095},
+                                     std::uint64_t{2048},
+                                     std::uint64_t{1}}) {
+    Bytes blob = good;
+    std::memcpy(blob.data(), &forged, sizeof forged);
+    const auto fast = huffman_decode(blob);
+    const auto slow = huffman_decode_reference(blob);
+    ASSERT_EQ(fast.size(), forged);
+    ASSERT_EQ(fast, slow) << "forged " << forged;
+    for (std::size_t i = 0; i < forged; ++i)
+      ASSERT_EQ(fast[i], syms[i]) << "forged " << forged << " idx " << i;
+  }
+}
+
 // Property sweep over random alphabets and sizes.
 class HuffmanFuzz
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
