@@ -1,0 +1,79 @@
+// Ablation — the composed-codec grid (compressors/composed.h): every
+// predictor x quantizer x encoder combination run as one sweep over a
+// Table-II data set, quantifying what each stage choice buys. This is the
+// component framework's bench-map entry: the same cells advise_compression
+// trials when handed composed codec names, here rendered as a full table.
+//
+// The kNumPredictors x kNumQuantizers x kNumEncoders grid (75 cells) runs
+// on the shared executor; rows stream as cells resolve. --verify re-runs
+// the grid serially and compares the deterministic columns (ratio, PSNR,
+// sizes) bit-for-bit; the host-timing columns are excluded — wall clock is
+// run-to-run noise. measure_compression memoizes per cell key, so the
+// verify rerun re-checks rendering, not kernels.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "compressors/composed.h"
+
+using namespace eblcio;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const std::string dataset = args.get("dataset", "CESM");
+  const double eb = args.get_double("eb", 1e-3);
+  bench::print_bench_header(
+      "Ablation", "Composed codecs: predictor x quantizer x encoder grid",
+      env);
+  std::printf("dataset=%s  REL=%s  (%d x %d x %d = %zu configurations)\n\n",
+              dataset.c_str(), fmt_error_bound(eb).c_str(), kNumPredictors,
+              kNumQuantizers, kNumEncoders, all_composed_configs().size());
+
+  bench::bench_dataset(dataset, env);  // generate before the cells race
+
+  auto eval = [&](const ComposedConfig& cell, SweepCellContext& ctx) {
+    const Field& f = bench::bench_dataset(dataset, env);
+    PipelineConfig config;
+    config.codec = composed_codec_name(cell);
+    config.error_bound = eb;
+    return bench::measure_compression(f, config, env, &ctx);
+  };
+  auto render = [](const ComposedConfig& cell, const CompressionRecord& r) {
+    return std::vector<std::string>{
+        std::string(predictor_name(cell.predictor)),
+        std::string(quantizer_name(cell.quantizer)),
+        std::string(encoder_name(cell.encoder)),
+        fmt_double(r.ratio, 2),
+        fmt_double(r.quality.psnr_db, 2),
+        fmt_double(r.compressed_bytes / 1e6, 3),
+        fmt_double(r.host_compress_s, 3),
+        fmt_double(r.host_decompress_s, 3)};
+  };
+  // Columns 0..5 are pure functions of the cell; 6..7 are host timings.
+  const std::size_t kDeterministicCols = 6;
+
+  bench::StreamedTable table({"Predictor", "Quantizer", "Encoder", "CR",
+                              "PSNR (dB)", "size (MB)", "comp t(s)",
+                              "dec t(s)"});
+  const auto summary = bench::run_grid_bench(
+      all_composed_configs(), env, eval, render,
+      [&](const ComposedConfig&, std::size_t,
+          const std::vector<std::string>& fragment) {
+        table.add_row(fragment);
+      },
+      [&](const ComposedConfig&, const std::vector<std::string>& fragment) {
+        return bench::detail::join_fragment(
+            {fragment.begin(), fragment.begin() + kDeterministicCols});
+      });
+  table.finish();
+  bench::print_grid_summary(summary);
+
+  std::printf(
+      "\nReading: the ratio spread is predictor-dominated (interp-cubic and\n"
+      "lorenzo1 bracket the grid), the encoder stage separates raw from the\n"
+      "entropy-coded variants by the code-stream entropy, and the quantizer\n"
+      "choice is ratio-neutral between the two linear variants — the recip\n"
+      "path is a pure speedup, locked to the divide's codes at ties.\n");
+  return summary.exit_code();
+}

@@ -1,0 +1,65 @@
+// Block-structured prediction+quantization engine — the SZ2 kernel family,
+// factored out of sz2.cpp so the composable codec framework can drive it
+// with any (predictor, quantizer) pair while SZ2 itself stays a thin
+// framing layer over the kLorenzoRegression configuration.
+//
+// The engine walks the field in SZ2's canonical block order (256 / 16x16 /
+// 6^3 / 6^4 blocks), predicts every element from the *reconstruction*
+// buffer (so compress and decompress see bit-identical predictions), and
+// quantizes residuals to radius-32768 codes. Unpredictable elements emit
+// code 0 and their exact value in the `unpred` stream.
+//
+// Bit-exactness contract: block_compress(kLorenzoRegression, kLinearRecip)
+// reproduces the pre-refactor SZ2 slab encoding byte-for-byte — the 17
+// pinned reference blobs in tests/test_reference_blobs.cpp enforce this.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/field.h"
+#include "compressors/components.h"
+#include "compressors/compressor.h"
+
+namespace eblcio {
+
+// Prediction modes of the block engine. kLorenzoRegression is the legacy
+// SZ2 behaviour (per-block choice between Lorenzo and a regression plane
+// for 2D/3D, pure Lorenzo otherwise); the rest pin one predictor for every
+// block, which is what the composed framework's predictor axis selects.
+enum class BlockPredictor : std::uint8_t {
+  kLorenzoRegression = 0,
+  kLorenzo1 = 1,
+  kLorenzo2 = 2,
+  kRegression = 3,
+};
+
+// One slab's encoding, stream-per-stream (the caller owns framing and the
+// entropy stage). Identical layout to SZ2's historical SlabEncoding.
+struct BlockEncoding {
+  std::vector<std::uint32_t> codes;  // one per element, canonical order
+  Bytes mode_bits;  // 1 bit per block: regression plane used?
+  Bytes coeffs;     // RegressionCoeffs for regression blocks, in order
+  Bytes unpred;     // raw T values for unpredictable points, in order
+};
+
+// Compresses one field (or slab). `quant_param` is the quantizer's
+// field-dependent parameter (see make_quantizer); pass 0 for the linear
+// quantizers.
+BlockEncoding block_compress(const Field& field, double abs_eb,
+                             BlockPredictor pred, QuantizerId quant,
+                             double quant_param);
+
+// Reconstructs a field from streams produced by block_compress with the
+// same (dims, abs_eb, pred, quant, quant_param). The returned Field is
+// named after header.codec. Throws CorruptStream on truncated or
+// inconsistent streams.
+Field block_decompress(const BlobHeader& header, BlockPredictor pred,
+                       QuantizerId quant, double quant_param,
+                       std::span<const std::uint32_t> codes,
+                       std::span<const std::byte> mode_bits,
+                       ByteReader& coeffs, ByteReader& unpred);
+
+}  // namespace eblcio

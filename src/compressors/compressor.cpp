@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cctype>
 #include <map>
+#include <mutex>
 
 #include "common/error.h"
+#include "compressors/composed.h"
 #include "compressors/lossless_blosc.h"
 #include "compressors/lossless_fpc.h"
 #include "compressors/lossless_fpzip.h"
@@ -97,10 +99,24 @@ Compressor& compressor(const std::string& name) {
     add(std::make_unique<FpcCompressor>());
     return m;
   }();
-  auto it = registry.find(lower(name));
-  if (it == registry.end())
-    throw InvalidArgument("unknown compressor: " + name);
-  return *it->second;
+  const std::string key = lower(name);
+  auto it = registry.find(key);
+  if (it != registry.end()) return *it->second;
+
+  // Composed configurations are materialized on demand: any point of the
+  // predictor x quantizer x encoder grid is addressable by name without
+  // prior registration. std::map nodes are stable, so returned references
+  // stay valid as the dynamic registry grows.
+  if (const auto config = parse_composed_codec_name(key)) {
+    static std::mutex mutex;
+    static std::map<std::string, std::unique_ptr<ComposedCompressor>>
+        composed_registry;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = composed_registry[key];
+    if (!slot) slot = std::make_unique<ComposedCompressor>(*config);
+    return *slot;
+  }
+  throw InvalidArgument("unknown compressor: " + name);
 }
 
 const std::vector<std::string>& eblc_names() {

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "compressors/backend.h"
+#include "compressors/components.h"
 #include "compressors/quantizer.h"
 
 namespace eblcio {
@@ -237,7 +238,7 @@ std::array<double, 64> level_eb_table(double abs_eb, double gamma) {
   return t;
 }
 
-template <typename T>
+template <typename T, typename Q>
 InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
                              const InterpConfig& config) {
   const Grid g = Grid::from_dims(arr.shape().dims_vector());
@@ -270,9 +271,10 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
   // Per-level quantizers built once: the constructor's reciprocal divide
   // was previously paid per element.
   const auto leb = level_eb_table(abs_eb, config.level_gamma);
-  std::vector<LinearQuantizer> quants;
+  std::vector<Q> quants;
   quants.reserve(leb.size());
-  for (double eb : leb) quants.emplace_back(eb, kRadius);
+  for (double eb : leb)
+    quants.push_back(make_quantizer<Q>(eb, config.quant_param, kRadius));
   std::vector<double> predbuf(g.dim[3]);
 
   traverse(g, anchor_stride,
@@ -281,7 +283,7 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
                std::size_t step3) {
              predict_row(g, recon.data(), c, d, h, config.cubic, base,
                          start3, step3, predbuf.data());
-             const LinearQuantizer& quant = quants[level];
+             const Q& quant = quants[level];
              std::size_t i = 0;
              for (std::size_t c3 = start3; c3 < g.dim[3];
                   c3 += step3, ++i) {
@@ -289,7 +291,7 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
                const double x = static_cast<double>(data[lin]);
                double r = 0.0;
                const std::uint32_t code =
-                   quant.quantize<T>(x, predbuf[i], &r);
+                   quant.template quantize<T>(x, predbuf[i], &r);
                if (code == 0) {
                  append_pod<T>(enc.unpred, static_cast<T>(x));
                  r = x;
@@ -301,7 +303,7 @@ InterpEncoding compress_impl(const NdArray<T>& arr, double abs_eb,
   return enc;
 }
 
-template <typename T>
+template <typename T, typename Q>
 Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
                       std::span<const std::uint32_t> codes,
                       std::span<const std::byte> anchors,
@@ -333,9 +335,10 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
 
   std::size_t code_idx = 0;
   const auto leb = level_eb_table(abs_eb, config.level_gamma);
-  std::vector<LinearQuantizer> quants;
+  std::vector<Q> quants;
   quants.reserve(leb.size());
-  for (double eb : leb) quants.emplace_back(eb, kRadius);
+  for (double eb : leb)
+    quants.push_back(make_quantizer<Q>(eb, config.quant_param, kRadius));
   std::vector<double> predbuf(g.dim[3]);
 
   traverse(g, anchor_stride,
@@ -347,7 +350,7 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
              // out unpredictable, where the value goes unused) is safe.
              predict_row(g, recon.data(), c, d, h, config.cubic, base,
                          start3, step3, predbuf.data());
-             const LinearQuantizer& quant = quants[level];
+             const Q& quant = quants[level];
              std::size_t i = 0;
              for (std::size_t c3 = start3; c3 < g.dim[3];
                   c3 += step3, ++i) {
@@ -374,19 +377,31 @@ Field decompress_impl(const BlobHeader& header, const InterpConfig& config,
 
 InterpEncoding interp_compress(const Field& field, double abs_eb,
                                const InterpConfig& config) {
-  return field.dtype() == DType::kFloat32
-             ? compress_impl<float>(field.as<float>(), abs_eb, config)
-             : compress_impl<double>(field.as<double>(), abs_eb, config);
+  return with_quantizer(
+      config.quantizer, abs_eb, config.quant_param, [&](auto proto) {
+        using Q = decltype(proto);
+        return field.dtype() == DType::kFloat32
+                   ? compress_impl<float, Q>(field.as<float>(), abs_eb,
+                                             config)
+                   : compress_impl<double, Q>(field.as<double>(), abs_eb,
+                                              config);
+      });
 }
 
 Field interp_decompress(const BlobHeader& header, const InterpConfig& config,
                         std::span<const std::uint32_t> codes,
                         std::span<const std::byte> anchors,
                         std::span<const std::byte> unpred) {
-  return header.dtype == DType::kFloat32
-             ? decompress_impl<float>(header, config, codes, anchors, unpred)
-             : decompress_impl<double>(header, config, codes, anchors,
-                                       unpred);
+  return with_quantizer(
+      config.quantizer, header.abs_error_bound, config.quant_param,
+      [&](auto proto) {
+        using Q = decltype(proto);
+        return header.dtype == DType::kFloat32
+                   ? decompress_impl<float, Q>(header, config, codes,
+                                               anchors, unpred)
+                   : decompress_impl<double, Q>(header, config, codes,
+                                                anchors, unpred);
+      });
 }
 
 Bytes interp_payload_encode(const InterpConfig& config,

@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/field.h"
+#include "compressors/components.h"
 #include "compressors/compressor.h"
 
 namespace eblcio {
@@ -26,6 +27,12 @@ struct InterpConfig {
   double level_gamma = 1.0;
   // Cubic (4-point) vs linear (2-point) interpolation.
   bool cubic = true;
+  // Quantizer component for the residual stage. The default reproduces
+  // the legacy SZ3/QoZ pipeline exactly; the composed framework selects
+  // others. NOT serialized by interp_payload_encode (the legacy SZ3/QoZ
+  // payload is frozen) — composed blobs carry these in their own payload.
+  QuantizerId quantizer = QuantizerId::kLinearRecip;
+  double quant_param = 0.0;  // field-dependent parameter (log: peak |x|)
 };
 
 struct InterpEncoding {

@@ -1,8 +1,24 @@
-// Linear-scale quantizer shared by the SZ-family compressors (SZ2, SZ3,
-// QoZ). Identical in spirit to SZ's error-controlled quantizer: prediction
-// residuals are mapped to integer codes on a 2*eb grid; residuals outside
-// the code capacity (or failing the round-trip check) are flagged
-// "unpredictable" and stored exactly.
+// Quantization components shared by the SZ-family compressors and the
+// composable codec framework (compressors/composed.h):
+//
+//  * LinearQuantizer     — reciprocal-multiply linear quantizer (the SZ2/
+//                          SZ3/QoZ production path), tie-corrected so its
+//                          code choices are bit-identical to an exact
+//                          division at half-integer ties;
+//  * DivLinearQuantizer  — the same error-controlled linear quantizer with
+//                          a correctly-rounded divide on the hot path (the
+//                          textbook formulation; differential referee for
+//                          LinearQuantizer);
+//  * LogQuantizer        — sign-symmetric log-domain quantizer: residuals
+//                          quantized on a uniform grid over
+//                          t(x) = sgn(x)·log1p(|x|), validated against the
+//                          absolute bound in the original domain.
+//
+// All three share one contract, which is what makes them pluggable behind
+// the block/interp prediction kernels: prediction residuals map to integer
+// codes on a 2*eb grid; residuals outside the code capacity (or failing
+// the round-trip check) are flagged "unpredictable" (code 0) and stored
+// exactly by the caller.
 //
 // The round-trip check is performed against the value *after casting to the
 // field's storage type*: the decompressed field holds T, and for bounds
@@ -10,25 +26,56 @@
 // the bound.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 
 namespace eblcio {
 
+// Magic constant for the add/sub round-to-nearest-even snap: 1.5 * 2^52.
+inline constexpr double kRoundMagic = 6755399441055744.0;
+
 // Branch-free round-to-nearest with halves away from zero — bit-exact with
-// std::llround for |x| < 2^51 (proven against llround over adversarial tie
-// and ulp-neighbour inputs in test_quantizer), but inlineable and
-// auto-vectorizable: no libm call, and both fixups compile to selects. The
-// magic add/sub snaps x to the nearest-even integer exactly; d = x - y is
-// then exact, so the only inputs nearest-even and llround disagree on —
-// exact .5 ties — are detected and bumped away from zero.
+// std::llround for |x| < 2^51, but inlineable and auto-vectorizable: no
+// libm call, and both fixups compile to selects. The magic add/sub snaps x
+// to the nearest-even integer exactly; d = x - y is then exact, so the
+// only inputs nearest-even and llround disagree on — exact .5 ties — are
+// detected and bumped away from zero.
 inline double round_half_away(double x) {
-  constexpr double kMagic = 6755399441055744.0;  // 1.5 * 2^52
-  const double y = (x + kMagic) - kMagic;
+  const double y = (x + kRoundMagic) - kRoundMagic;
   const double d = x - y;
   const double up = (d == 0.5) & (x > 0.0) ? 1.0 : 0.0;
   const double dn = (d == -0.5) & (x < 0.0) ? 1.0 : 0.0;
   return (y + up) - dn;
+}
+
+// Half-integer tie zone test for a reciprocal-multiply quotient. d is the
+// distance from qf to its nearest-even snap (|d| <= 0.5); the zone is
+// |qf| within 2^-48·max(1,|qf|) of a half-integer — orders of magnitude
+// wider than the <= 2-ulp error of a reciprocal multiply, yet still
+// vanishingly rare on real residual streams.
+inline bool near_half_tie(double qf, double d) {
+  return std::fabs(std::fabs(d) - 0.5) <=
+         0x1p-48 * std::max(1.0, std::fabs(qf));
+}
+
+// Rounds the quotient diff/eb2 given its reciprocal-multiply approximation
+// qf = diff * (1/eb2), halves away from zero — and, unlike a plain
+// round_half_away(qf), always yields the SAME integer the correctly-
+// rounded division would: inside the (rare) tie zone, where the <= 2-ulp
+// reciprocal error is the difference between rounding up and down, the
+// quotient is recomputed with an exact divide and that value decides.
+// Outside the zone the nearest-even snap is already the right integer.
+// This is the fix for the documented reciprocal-multiply ulp edge case:
+// every quantizer that rounds a reciprocal-multiply quotient routes
+// through here, so composed and legacy paths emit the same code at
+// half-integer ties (regression-locked in tests/test_composed.cpp).
+inline double round_quotient_half_away(double qf, double diff, double eb2) {
+  const double y = (qf + kRoundMagic) - kRoundMagic;
+  const double d = qf - y;
+  if (near_half_tie(qf, d)) [[unlikely]]
+    return round_half_away(diff / eb2);
+  return y;
 }
 
 class LinearQuantizer {
@@ -64,14 +111,16 @@ class LinearQuantizer {
       return 0;
     }
     // Reciprocal multiply instead of a divide: ~15 cycles off the
-    // prediction-feedback dependency chain. The (at most 1-ulp) difference
-    // in qf can only shift the chosen q where llround sat within an ulp of
-    // a half-integer — and any q is validated by the cast-value round-trip
-    // check below, so the error bound holds regardless. Decoding is
-    // unaffected: recover() never uses the reciprocal.
+    // prediction-feedback dependency chain. The (at most ~2-ulp)
+    // difference in qf could only shift the chosen q where qf sits within
+    // an ulp of a half-integer — and round_quotient_half_away detects
+    // exactly that zone and re-derives the quotient with an exact divide,
+    // so the emitted code always matches the division semantics. Decoding
+    // is unaffected: recover() never uses the reciprocal.
     const double qf = diff * inv_eb2_;
     if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
-    const auto q = static_cast<std::int64_t>(round_half_away(qf));
+    const auto q =
+        static_cast<std::int64_t>(round_quotient_half_away(qf, diff, eb2_));
     const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
     if (std::fabs(static_cast<double>(cast) - value) > eb_) return 0;
     *recon = static_cast<double>(cast);
@@ -85,18 +134,15 @@ class LinearQuantizer {
   // recon[k] = data[k] (exactly what the decompressor's unpredictable
   // path materializes) and the caller appends data[k] to its
   // unpredictable stream. Bit-identical to calling quantize<T>(data[k],
-  // row0 + slope*k, ...) per element: round_half_away is the rounding
-  // used there, and every other operation is the same expression.
+  // row0 + slope*k, ...) per element: the vector pass accumulates a
+  // half-tie flag with the same detector the scalar path uses, and any
+  // row that trips it (vanishingly rare) is redone element-by-element
+  // through quantize<T>.
   template <typename T>
   void quantize_row(const T* data, std::size_t n, double row0, double slope,
                     std::uint32_t* codes, T* recon) const {
     if (eb2_ <= 0.0) {  // degenerate bound: per-element scalar fallback
-      for (std::size_t k = 0; k < n; ++k) {
-        const double x = static_cast<double>(data[k]);
-        double r = x;
-        codes[k] = quantize<T>(x, row0 + slope * static_cast<double>(k), &r);
-        recon[k] = static_cast<T>(r);
-      }
+      quantize_row_scalar(data, n, row0, slope, codes, recon);
       return;
     }
     const double rad_guard = static_cast<double>(radius_) - 1;
@@ -104,6 +150,7 @@ class LinearQuantizer {
     // vectorizes (u64->double lowers to a branchy sequence that blocks
     // the vectorizer). Rows are dimension extents, far below 2^31.
     const auto ni = static_cast<std::int32_t>(n);
+    std::int32_t any_tie = 0;
     for (std::int32_t k = 0; k < ni; ++k) {
       const double x = static_cast<double>(data[k]);
       const double pred = row0 + slope * static_cast<double>(k);
@@ -112,7 +159,15 @@ class LinearQuantizer {
       // wildly out-of-range qf (scalar quantize() never reaches it); the
       // bitwise & (not &&) keeps the body branch-free for the vectorizer.
       const bool in_range = std::fabs(qf) < rad_guard;
-      const double qd = round_half_away(in_range ? qf : 0.0);
+      const double qc = in_range ? qf : 0.0;
+      // round_half_away inlined with its snap distance exposed, so the
+      // half-tie detector shares the add/sub with the rounding itself.
+      const double y = (qc + kRoundMagic) - kRoundMagic;
+      const double dd = qc - y;
+      const double up = (dd == 0.5) & (qc > 0.0) ? 1.0 : 0.0;
+      const double dn = (dd == -0.5) & (qc < 0.0) ? 1.0 : 0.0;
+      const double qd = (y + up) - dn;
+      any_tie |= static_cast<std::int32_t>(near_half_tie(qc, dd));
       const T cast = static_cast<T>(pred + qd * eb2_);
       const bool ok =
           in_range & (std::fabs(static_cast<double>(cast) - x) <= eb_);
@@ -122,6 +177,11 @@ class LinearQuantizer {
                     : 0u;
       recon[k] = ok ? cast : data[k];
     }
+    // A row that grazed a half-integer tie re-runs through the scalar
+    // path, whose round_quotient_half_away settles the tie with an exact
+    // divide — keeping the batch path bit-identical to the scalar one.
+    if (any_tie) [[unlikely]]
+      quantize_row_scalar(data, n, row0, slope, codes, recon);
   }
 
   // Batch recovery of a regression-predicted row. Code-0 slots get a
@@ -153,9 +213,187 @@ class LinearQuantizer {
   }
 
  private:
+  template <typename T>
+  void quantize_row_scalar(const T* data, std::size_t n, double row0,
+                           double slope, std::uint32_t* codes,
+                           T* recon) const {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = static_cast<double>(data[k]);
+      double r = x;
+      codes[k] = quantize<T>(x, row0 + slope * static_cast<double>(k), &r);
+      recon[k] = static_cast<T>(r);
+    }
+  }
+
   double eb_;
   double eb2_;
   double inv_eb2_;
+  std::uint32_t radius_;
+};
+
+// The same error-controlled linear quantizer with a correctly-rounded
+// divide on the hot path — the textbook formulation of the SZ quantizer.
+// With LinearQuantizer's half-tie correction the two emit identical codes
+// on every input whose quotient is not within an ulp of the radius guard,
+// which makes this the differential referee for the production reciprocal
+// path (asserted over random fields in tests/test_composed.cpp).
+class DivLinearQuantizer {
+ public:
+  explicit DivLinearQuantizer(double abs_eb, std::uint32_t radius = 32768)
+      : eb_(abs_eb), eb2_(2.0 * abs_eb), radius_(radius) {}
+
+  std::uint32_t radius() const { return radius_; }
+  std::uint32_t alphabet_size() const { return 2 * radius_ + 1; }
+  double abs_eb() const { return eb_; }
+
+  template <typename T>
+  std::uint32_t quantize(double value, double pred, double* recon) const {
+    const double diff = value - pred;
+    if (eb2_ <= 0.0) {
+      if (diff == 0.0) {
+        *recon = value;
+        return radius_;
+      }
+      return 0;
+    }
+    const double qf = diff / eb2_;
+    if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
+    const auto q = static_cast<std::int64_t>(round_half_away(qf));
+    const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
+    if (std::fabs(static_cast<double>(cast) - value) > eb_) return 0;
+    *recon = static_cast<double>(cast);
+    return static_cast<std::uint32_t>(q + static_cast<std::int64_t>(radius_));
+  }
+
+  template <typename T>
+  void quantize_row(const T* data, std::size_t n, double row0, double slope,
+                    std::uint32_t* codes, T* recon) const {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = static_cast<double>(data[k]);
+      double r = x;
+      codes[k] = quantize<T>(x, row0 + slope * static_cast<double>(k), &r);
+      recon[k] = static_cast<T>(r);
+    }
+  }
+
+  template <typename T>
+  void recover_row(const std::uint32_t* codes, std::size_t n, double row0,
+                   double slope, T* out) const {
+    // Identical expression to LinearQuantizer::recover_row — decode never
+    // divides, so the two linear quantizers share one inverse mapping.
+    const double rad = static_cast<double>(radius_);
+    const auto ni = static_cast<std::int32_t>(n);
+    for (std::int32_t k = 0; k < ni; ++k) {
+      const double pred = row0 + slope * static_cast<double>(k);
+      const double q =
+          static_cast<double>(static_cast<std::int32_t>(codes[k])) - rad;
+      out[k] = static_cast<T>(pred + q * eb2_);
+    }
+  }
+
+  double recover(double pred, std::uint32_t code) const {
+    const auto q = static_cast<std::int64_t>(code) -
+                   static_cast<std::int64_t>(radius_);
+    return pred + static_cast<double>(q) * eb2_;
+  }
+
+ private:
+  double eb_;
+  double eb2_;
+  std::uint32_t radius_;
+};
+
+// Sign-symmetric log-domain quantizer: residuals are quantized on a
+// uniform grid over t(x) = sgn(x)·log1p(|x|) (a monotone bijection of the
+// whole real line, so negative and zero values need no special casing).
+// The t-domain half-step is log1p(abs_eb / (1 + vmax)) — by the mean value
+// theorem a t-domain error of that size maps to at most ~abs_eb in the
+// original domain for |x| <= vmax — and every emitted code is still
+// validated against the absolute bound on the original-domain T-cast, so
+// the per-element guarantee never rests on the analytic argument alone.
+// `vmax` (the field's peak magnitude) travels in the composed payload as
+// the quantizer parameter, making blobs self-describing.
+class LogQuantizer {
+ public:
+  LogQuantizer(double abs_eb, double vmax, std::uint32_t radius = 32768)
+      : eb_(abs_eb), radius_(radius) {
+    const double half =
+        abs_eb > 0.0 ? std::log1p(abs_eb / (1.0 + std::fabs(vmax))) : 0.0;
+    eb2t_ = 2.0 * half;
+  }
+
+  std::uint32_t radius() const { return radius_; }
+  std::uint32_t alphabet_size() const { return 2 * radius_ + 1; }
+  double abs_eb() const { return eb_; }
+
+  template <typename T>
+  std::uint32_t quantize(double value, double pred, double* recon) const {
+    if (eb2t_ <= 0.0) {
+      if (value - pred == 0.0) {
+        *recon = value;
+        return radius_;
+      }
+      return 0;
+    }
+    const double tp = fwd(pred);
+    const double qf = (fwd(value) - tp) / eb2t_;
+    if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
+    const auto q = static_cast<std::int64_t>(round_half_away(qf));
+    const T cast =
+        static_cast<T>(inv(tp + static_cast<double>(q) * eb2t_));
+    // Negated comparison so a NaN cast (from non-finite inputs) also
+    // falls to the unpredictable path.
+    if (!(std::fabs(static_cast<double>(cast) - value) <= eb_)) return 0;
+    *recon = static_cast<double>(cast);
+    return static_cast<std::uint32_t>(q + static_cast<std::int64_t>(radius_));
+  }
+
+  template <typename T>
+  void quantize_row(const T* data, std::size_t n, double row0, double slope,
+                    std::uint32_t* codes, T* recon) const {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double x = static_cast<double>(data[k]);
+      double r = x;
+      codes[k] = quantize<T>(x, row0 + slope * static_cast<double>(k), &r);
+      recon[k] = static_cast<T>(r);
+    }
+  }
+
+  template <typename T>
+  void recover_row(const std::uint32_t* codes, std::size_t n, double row0,
+                   double slope, T* out) const {
+    for (std::size_t k = 0; k < n; ++k) {
+      // Code-0 slots are overwritten by the caller from the unpredictable
+      // stream; skip them so the placeholder stays a benign constant
+      // rather than an exp of an extreme argument.
+      out[k] = codes[k]
+                   ? static_cast<T>(recover(
+                         row0 + slope * static_cast<double>(k), codes[k]))
+                   : T{0};
+    }
+  }
+
+  double recover(double pred, std::uint32_t code) const {
+    const auto q = static_cast<std::int64_t>(code) -
+                   static_cast<std::int64_t>(radius_);
+    return inv(fwd(pred) + static_cast<double>(q) * eb2t_);
+  }
+
+ private:
+  static double fwd(double x) {
+    return x < 0.0 ? -std::log1p(-x) : std::log1p(x);
+  }
+  static double inv(double t) {
+    // |t| <= 60 keeps expm1 finite (~1.1e26, within float range) so the
+    // caller's T-cast stays defined even for corrupt code streams; values
+    // whose transform exceeds the clamp fail quantize()'s original-domain
+    // check and are stored exactly instead.
+    const double c = std::clamp(t, -60.0, 60.0);
+    return c < 0.0 ? -std::expm1(-c) : std::expm1(c);
+  }
+
+  double eb_;
+  double eb2t_ = 0.0;
   std::uint32_t radius_;
 };
 

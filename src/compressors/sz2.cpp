@@ -1,514 +1,21 @@
+// SZ2 framing over the shared block engine (compressors/block_core.h):
+// the prediction/quantization kernels this file used to own now live
+// behind block_compress/block_decompress, and SZ2 is the
+// (kLorenzoRegression, kLinearRecip) configuration of them — the same
+// kernels the composed codec framework drives with other component pairs.
+// The slab/stream framing below is frozen by the pinned reference blobs.
 #include "compressors/sz2.h"
 
 #include <algorithm>
-#include <array>
-#include <bit>
-#include <cmath>
-#include <cstring>
 #include <vector>
 
 #include "common/error.h"
 #include "compressors/backend.h"
+#include "compressors/block_core.h"
 #include "compressors/chunking.h"
 #include "parallel/executor.h"
-#include "compressors/quantizer.h"
 
 namespace eblcio {
-namespace {
-
-constexpr std::uint32_t kRadius = 32768;
-
-// All fields are processed through a uniform 4D view: leading dimensions of
-// extent 1 are prepended, and the Lorenzo inclusion-exclusion masks over
-// size-1 dimensions vanish naturally.
-struct Geometry {
-  std::array<std::size_t, 4> dim{1, 1, 1, 1};
-  std::array<std::size_t, 4> stride{};
-  std::array<std::size_t, 4> block{1, 1, 1, 1};   // block edge per dim
-  std::array<std::size_t, 4> nblocks{1, 1, 1, 1}; // block grid
-  int real_dims = 1;
-  std::vector<unsigned> lorenzo_masks;  // nonzero masks over real dims
-
-  static Geometry from_dims(const std::vector<std::size_t>& dims) {
-    Geometry g;
-    g.real_dims = static_cast<int>(dims.size());
-    const int pad = 4 - g.real_dims;
-    for (int i = 0; i < g.real_dims; ++i) g.dim[pad + i] = dims[i];
-
-    // Block edges per dimensionality, as in SZ2 (256 / 16x16 / 6^3).
-    static constexpr std::array<std::array<std::size_t, 4>, 4> kEdges{{
-        {1, 1, 1, 256},
-        {1, 1, 16, 16},
-        {1, 6, 6, 6},
-        {6, 6, 6, 6},
-    }};
-    g.block = kEdges[g.real_dims - 1];
-
-    std::size_t acc = 1;
-    for (int d = 3; d >= 0; --d) {
-      g.stride[d] = acc;
-      acc *= g.dim[d];
-    }
-    for (int d = 0; d < 4; ++d)
-      g.nblocks[d] = (g.dim[d] + g.block[d] - 1) / g.block[d];
-
-    // Lorenzo neighbour masks: subsets of the real dimensions.
-    for (unsigned mask = 1; mask < 16; ++mask) {
-      bool ok = true;
-      for (int d = 0; d < 4; ++d)
-        if ((mask & (1u << d)) && g.dim[d] == 1) ok = false;
-      if (ok) g.lorenzo_masks.push_back(mask);
-    }
-    return g;
-  }
-
-  std::size_t num_elements() const {
-    return dim[0] * dim[1] * dim[2] * dim[3];
-  }
-  std::size_t total_blocks() const {
-    return nblocks[0] * nblocks[1] * nblocks[2] * nblocks[3];
-  }
-};
-
-// The Lorenzo stencil for one row (fixed c0..c2, c3 varying): the (offset,
-// sign) pairs of every mask whose neighbours exist, in mask order — the
-// same accumulation order as walking lorenzo_masks and skipping the
-// out-of-range ones, so predictions are bit-identical to the per-element
-// mask walk this replaces. Rows split into a head stencil (first element
-// when its c3 coordinate is 0) and a tail stencil (c3 > 0); hoisting the
-// boundary logic here leaves the per-element loop a fused multiply-add
-// sweep over precomputed offsets.
-struct RowStencil {
-  std::array<std::pair<std::size_t, double>, 15> head_terms;
-  std::array<std::pair<std::size_t, double>, 15> tail_terms;
-  int head_n = 0;
-  int tail_n = 0;
-};
-
-RowStencil row_stencil(const Geometry& g,
-                       const std::array<std::size_t, 4>& row) {
-  RowStencil st;
-  for (unsigned mask : g.lorenzo_masks) {
-    bool valid_fixed = true;  // dims 0..2 (fixed along the row)
-    std::size_t off = 0;
-    for (int d = 0; d < 3; ++d) {
-      if (!(mask & (1u << d))) continue;
-      if (row[d] == 0) {
-        valid_fixed = false;
-        break;
-      }
-      off += g.stride[d];
-    }
-    if (!valid_fixed) continue;
-    const bool touches_d3 = (mask & (1u << 3)) != 0;
-    if (touches_d3) off += g.stride[3];
-    const double sign = (std::popcount(mask) & 1) ? 1.0 : -1.0;
-    st.tail_terms[st.tail_n++] = {off, sign};
-    if (!touches_d3) st.head_terms[st.head_n++] = {off, sign};
-  }
-  return st;
-}
-
-// row_stencil only reads `row` through row[d] == 0 tests, so a stencil is
-// fully determined by the 4-bit zero-pattern of the row base — 16
-// possibilities. Rebuilding per boundary row was ~16% of compress-slab
-// time; this table replaces ~8k rebuilds per 64^3 field with a lookup.
-// The entry contents are byte-identical to a fresh row_stencil call, so
-// predictions are unchanged. Index 0 (no zero coordinate) is the full
-// interior stencil; rows in size-1 dimensions always carry their zero
-// bit, and those dimensions never appear in lorenzo_masks, so the lookup
-// stays consistent for them too.
-struct StencilCache {
-  std::array<RowStencil, 16> by_sig;
-
-  explicit StencilCache(const Geometry& g) {
-    for (unsigned sig = 0; sig < 16; ++sig) {
-      std::array<std::size_t, 4> fake_row;
-      for (int d = 0; d < 4; ++d)
-        fake_row[d] = (sig & (1u << d)) ? 0 : 1;
-      by_sig[sig] = row_stencil(g, fake_row);
-    }
-  }
-
-  static unsigned signature(const std::array<std::size_t, 4>& row) {
-    unsigned sig = 0;
-    for (int d = 0; d < 4; ++d)
-      if (row[d] == 0) sig |= 1u << d;
-    return sig;
-  }
-
-  const RowStencil& for_row(const std::array<std::size_t, 4>& row) const {
-    return by_sig[signature(row)];
-  }
-};
-
-// Prediction from a row stencil: sign-weighted neighbour sum over either
-// the reconstruction buffer (double) or raw samples (T). Multiplying by
-// the exact +-1.0 sign equals the branchy add/subtract bit-for-bit.
-//
-// The compile-time-N body lets the compiler fully unroll and schedule the
-// gather+fma chain; the runtime wrapper dispatches on the term counts a
-// Lorenzo stencil can actually have on interior rows (1/3/7/15 for
-// 1D/2D/3D/4D). Identical sequential accumulation order, so the dispatch
-// is bit-invisible.
-template <int N, typename V>
-inline double stencil_predict_n(
-    const std::array<std::pair<std::size_t, double>, 15>& terms,
-    const V* vals, std::size_t lin) {
-  double pred = 0.0;
-  for (int k = 0; k < N; ++k)
-    pred += terms[k].second *
-            static_cast<double>(vals[lin - terms[k].first]);
-  return pred;
-}
-
-template <typename V>
-inline double stencil_predict(
-    const std::array<std::pair<std::size_t, double>, 15>& terms, int n,
-    const V* vals, std::size_t lin) {
-  switch (n) {
-    case 7: return stencil_predict_n<7>(terms, vals, lin);
-    case 3: return stencil_predict_n<3>(terms, vals, lin);
-    case 15: return stencil_predict_n<15>(terms, vals, lin);
-    case 1: return stencil_predict_n<1>(terms, vals, lin);
-    default: break;
-  }
-  double pred = 0.0;
-  for (int k = 0; k < n; ++k)
-    pred += terms[k].second *
-            static_cast<double>(vals[lin - terms[k].first]);
-  return pred;
-}
-
-struct RegressionCoeffs {
-  float b0 = 0.f;
-  std::array<float, 4> slope{};  // per uniform-4D dim (zeros for unit dims)
-};
-
-// Kernel state shared between the per-block passes.
-struct BlockRef {
-  std::array<std::size_t, 4> origin;
-  std::array<std::size_t, 4> extent;
-};
-
-// Enumerates blocks in row-major block-grid order.
-std::vector<BlockRef> enumerate_blocks(const Geometry& g) {
-  std::vector<BlockRef> blocks;
-  blocks.reserve(g.total_blocks());
-  std::array<std::size_t, 4> b{};
-  for (b[0] = 0; b[0] < g.nblocks[0]; ++b[0])
-    for (b[1] = 0; b[1] < g.nblocks[1]; ++b[1])
-      for (b[2] = 0; b[2] < g.nblocks[2]; ++b[2])
-        for (b[3] = 0; b[3] < g.nblocks[3]; ++b[3]) {
-          BlockRef ref;
-          for (int d = 0; d < 4; ++d) {
-            ref.origin[d] = b[d] * g.block[d];
-            ref.extent[d] =
-                std::min(g.block[d], g.dim[d] - ref.origin[d]);
-          }
-          blocks.push_back(ref);
-        }
-  return blocks;
-}
-
-// Linear index of the row base (c3 = 0) for local row coords `c` inside
-// `blk`; the d3 stride is 1 by construction, so rows advance unit-stride.
-inline std::size_t row_base(const Geometry& g, const BlockRef& blk,
-                            const std::array<std::size_t, 4>& c) {
-  return (blk.origin[0] + c[0]) * g.stride[0] +
-         (blk.origin[1] + c[1]) * g.stride[1] +
-         (blk.origin[2] + c[2]) * g.stride[2] + blk.origin[3];
-}
-
-// Least-squares plane fit over a block of raw values. The data-independent
-// moments (element count, coordinate sums, squared-coordinate sums) are
-// sums of small integers — exact in double in any order — so they come
-// from closed forms; only the data moments accumulate per element, in the
-// original element-then-dimension order so sum_x / sum_ux stay
-// bit-identical to the fused loop this replaces.
-template <typename T>
-RegressionCoeffs fit_regression(const Geometry& g, const T* data,
-                                const BlockRef& blk) {
-  RegressionCoeffs rc;
-  const double n = static_cast<double>(blk.extent[0] * blk.extent[1] *
-                                       blk.extent[2] * blk.extent[3]);
-  std::array<double, 4> sum_u{}, sum_uu{};
-  for (int d = 0; d < 4; ++d) {
-    const double e = static_cast<double>(blk.extent[d]);
-    const double others = n / e;
-    // sum over c_d of c_d, and of c_d^2, times the count of other coords.
-    sum_u[d] = others * (e * (e - 1.0) / 2.0);
-    sum_uu[d] = others * ((e - 1.0) * e * (2.0 * e - 1.0) / 6.0);
-  }
-
-  double sum_x = 0.0;
-  std::array<double, 4> sum_ux{};
-  std::array<std::size_t, 4> c{};
-  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
-    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2]) {
-        std::size_t lin = row_base(g, blk, c);
-        const double u0 = static_cast<double>(c[0]);
-        const double u1 = static_cast<double>(c[1]);
-        const double u2 = static_cast<double>(c[2]);
-        for (c[3] = 0; c[3] < blk.extent[3]; ++c[3], ++lin) {
-          const double x = static_cast<double>(data[lin]);
-          sum_x += x;
-          sum_ux[0] += u0 * x;
-          sum_ux[1] += u1 * x;
-          sum_ux[2] += u2 * x;
-          sum_ux[3] += static_cast<double>(c[3]) * x;
-        }
-      }
-  const double mean_x = sum_x / n;
-  double b0 = mean_x;
-  for (int d = 0; d < 4; ++d) {
-    const double mean_u = sum_u[d] / n;
-    const double var_u = sum_uu[d] / n - mean_u * mean_u;
-    const double cov = sum_ux[d] / n - mean_u * mean_x;
-    const double slope = var_u > 1e-12 ? cov / var_u : 0.0;
-    rc.slope[d] = static_cast<float>(slope);
-    b0 -= slope * mean_u;
-  }
-  rc.b0 = static_cast<float>(b0);
-  return rc;
-}
-
-// Decides the per-block predictor by comparing sampled absolute residuals
-// of raw-data Lorenzo vs. the regression plane (SZ2's selection heuristic).
-template <typename T>
-bool regression_wins(const Geometry& g, const StencilCache& stencils,
-                     const T* data, const BlockRef& blk,
-                     const RegressionCoeffs& rc) {
-  double err_lorenzo = 0.0, err_reg = 0.0;
-  std::array<std::size_t, 4> c{};
-  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
-    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-      for (c[2] = 0; c[2] < blk.extent[2]; c[2] += 2) {
-        const std::array<std::size_t, 4> row{
-            blk.origin[0] + c[0], blk.origin[1] + c[1],
-            blk.origin[2] + c[2], blk.origin[3]};
-        const RowStencil& st = stencils.for_row(row);
-        // regression_predict association: ((b0+s0c0)+s1c1)+s2c2, then +s3c3.
-        const double reg_row =
-            ((rc.b0 + static_cast<double>(rc.slope[0]) *
-                          static_cast<double>(c[0])) +
-             static_cast<double>(rc.slope[1]) * static_cast<double>(c[1])) +
-            static_cast<double>(rc.slope[2]) * static_cast<double>(c[2]);
-        const std::size_t base = row_base(g, blk, c);
-        for (c[3] = 0; c[3] < blk.extent[3]; c[3] += 2) {  // sample stride 2
-          const std::size_t lin = base + c[3];
-          const double x = static_cast<double>(data[lin]);
-          // Raw-data Lorenzo residual (approximation to the real residual).
-          const bool head = row[3] + c[3] == 0 && g.dim[3] > 1;
-          const double pred =
-              head ? stencil_predict(st.head_terms, st.head_n, data, lin)
-                   : stencil_predict(st.tail_terms, st.tail_n, data, lin);
-          err_lorenzo += std::fabs(x - pred);
-          err_reg +=
-              std::fabs(x - (reg_row + static_cast<double>(rc.slope[3]) *
-                                           static_cast<double>(c[3])));
-        }
-      }
-  return err_reg < err_lorenzo;
-}
-
-// Walks one block in canonical element order, computing every element's
-// prediction (regression plane or Lorenzo stencil over `recon`) and
-// invoking fn(lin, pred) — except for regression rows, which are handed
-// whole to reg_row_fn(base, row0, s3, n) because the regression plane has
-// no reconstruction feedback: the callee may process the row with a
-// stride-1 vectorized kernel as long as each element's prediction is
-// evaluated as the bit-identical expression row0 + s3 * (double)k.
-// Compress and decompress both iterate through this single walker: the
-// round-trip contract requires the two sides to evaluate predictions
-// bit-identically, so the shared code path makes that symmetry structural
-// rather than maintained by hand (the callbacks are the only
-// side-specific part — quantize+record vs recover+materialize).
-template <typename T, typename Fn, typename RegRowFn>
-void walk_block_predictions(const Geometry& g, const BlockRef& blk,
-                            const StencilCache& stencils, bool reg,
-                            const RegressionCoeffs& rc, const T* recon,
-                            Fn&& fn, RegRowFn&& reg_row_fn) {
-  std::array<std::size_t, 4> c{};
-  for (c[0] = 0; c[0] < blk.extent[0]; ++c[0])
-    for (c[1] = 0; c[1] < blk.extent[1]; ++c[1])
-      for (c[2] = 0; c[2] < blk.extent[2]; ++c[2]) {
-        // Per-element work is hoisted to the row: the linear index
-        // advances unit-stride, the predictor branch resolves once, and
-        // boundary handling collapses into the precomputed stencils.
-        const std::size_t base = row_base(g, blk, c);
-        const std::size_t ext3 = blk.extent[3];
-        if (reg) {
-          // regression association: ((b0+s0c0)+s1c1)+s2c2, then +s3c3.
-          const double reg_row =
-              ((rc.b0 + static_cast<double>(rc.slope[0]) *
-                            static_cast<double>(c[0])) +
-               static_cast<double>(rc.slope[1]) *
-                   static_cast<double>(c[1])) +
-              static_cast<double>(rc.slope[2]) * static_cast<double>(c[2]);
-          const double s3 = static_cast<double>(rc.slope[3]);
-          reg_row_fn(base, reg_row, s3, ext3);
-        } else {
-          const std::array<std::size_t, 4> row{
-              blk.origin[0] + c[0], blk.origin[1] + c[1],
-              blk.origin[2] + c[2], blk.origin[3]};
-          // Boundary handling collapsed into the cached stencil; interior
-          // rows hit the same full-stencil entry every time.
-          const RowStencil& st = stencils.for_row(row);
-          std::size_t c3 = 0;
-          if (row[3] == 0 && g.dim[3] > 1 && ext3 > 0) {
-            fn(base,
-               stencil_predict(st.head_terms, st.head_n, recon, base));
-            c3 = 1;
-          }
-          for (; c3 < ext3; ++c3) {
-            const std::size_t lin = base + c3;
-            fn(lin,
-               stencil_predict(st.tail_terms, st.tail_n, recon, lin));
-          }
-        }
-      }
-}
-
-struct SlabEncoding {
-  std::vector<std::uint32_t> codes;
-  Bytes mode_bits;      // 1 bit per block (regression?) for 2D/3D
-  Bytes coeffs;         // RegressionCoeffs for regression blocks, in order
-  Bytes unpred;         // raw T values for unpredictable points, in order
-};
-
-template <typename T>
-SlabEncoding compress_slab(const Field& field, double abs_eb) {
-  const NdArray<T>& arr = field.as<T>();
-  const Geometry g = Geometry::from_dims(arr.shape().dims_vector());
-  const T* data = arr.data();
-  const LinearQuantizer quant(abs_eb, kRadius);
-  const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
-
-  SlabEncoding enc;
-  enc.codes.resize(g.num_elements());
-  std::uint32_t* code_dst = enc.codes.data();
-  // recon holds values the decompressor materializes: every entry is the
-  // T-cast of a prediction+residual, hence exactly T-representable — storing
-  // T halves the buffer bandwidth with bit-identical reads.
-  using ReconT = T;
-  std::vector<ReconT> recon(g.num_elements(), ReconT{0});
-
-  // All 16 boundary stencils precomputed once; rows index by zero-pattern.
-  const StencilCache stencils(g);
-
-  const auto blocks = enumerate_blocks(g);
-  enc.mode_bits.assign((blocks.size() + 7) / 8, std::byte{0});
-
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const BlockRef& blk = blocks[bi];
-    RegressionCoeffs rc;
-    bool reg = false;
-    if (use_regression) {
-      rc = fit_regression(g, data, blk);
-      reg = regression_wins(g, stencils, data, blk, rc);
-      if (reg) {
-        enc.mode_bits[bi / 8] |= static_cast<std::byte>(1u << (bi % 8));
-        append_pod(enc.coeffs, rc);
-      }
-    }
-    walk_block_predictions(
-        g, blk, stencils, reg, rc, recon.data(),
-        [&](std::size_t lin, double pred) {
-          const double x = static_cast<double>(data[lin]);
-          double r = 0.0;
-          const std::uint32_t code = quant.quantize<T>(x, pred, &r);
-          if (code == 0) {
-            append_pod<T>(enc.unpred, static_cast<T>(x));
-            r = x;
-          }
-          recon[lin] = static_cast<ReconT>(r);
-          *code_dst++ = code;
-        },
-        // Regression rows: stride-1 vectorized quantization, then a scan
-        // for the (rare) unpredictable slots so the exact-value stream
-        // stays in canonical element order.
-        [&](std::size_t base, double row0, double s3, std::size_t n) {
-          quant.quantize_row<T>(data + base, n, row0, s3, code_dst,
-                                recon.data() + base);
-          for (std::size_t k = 0; k < n; ++k)
-            if (code_dst[k] == 0) append_pod<T>(enc.unpred, data[base + k]);
-          code_dst += n;
-        });
-  }
-  return enc;
-}
-
-template <typename T>
-Field decompress_slab(const BlobHeader& header,
-                      std::span<const std::uint32_t> codes,
-                      std::span<const std::byte> mode_bits,
-                      ByteReader& coeffs, ByteReader& unpred) {
-  const Geometry g = Geometry::from_dims(header.dims);
-  const LinearQuantizer quant(header.abs_error_bound, kRadius);
-  const bool use_regression = g.real_dims == 2 || g.real_dims == 3;
-
-  NdArray<T> arr(Shape{std::span<const std::size_t>(header.dims)});
-  // recon holds values the decompressor materializes: every entry is the
-  // T-cast of a prediction+residual, hence exactly T-representable — storing
-  // T halves the buffer bandwidth with bit-identical reads.
-  using ReconT = T;
-  std::vector<ReconT> recon(g.num_elements(), ReconT{0});
-
-  // All 16 boundary stencils precomputed once; rows index by zero-pattern.
-  const StencilCache stencils(g);
-
-  const auto blocks = enumerate_blocks(g);
-  EBLCIO_CHECK_STREAM(mode_bits.size() >= (blocks.size() + 7) / 8,
-                      "SZ2: truncated block mode bits");
-  std::size_t code_idx = 0;
-
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const BlockRef& blk = blocks[bi];
-    const bool reg =
-        use_regression &&
-        (static_cast<unsigned>(mode_bits[bi / 8]) >> (bi % 8)) & 1u;
-    RegressionCoeffs rc;
-    if (reg) rc = coeffs.read_pod<RegressionCoeffs>();
-
-    // The whole block's codes must be present before any element is
-    // consumed (stricter-earlier version of the per-element underrun
-    // check; same exception on corrupt streams).
-    std::size_t block_elems = 1;
-    for (int d = 0; d < 4; ++d) block_elems *= blk.extent[d];
-    EBLCIO_CHECK_STREAM(code_idx + block_elems <= codes.size(),
-                        "SZ2: code stream underrun");
-    walk_block_predictions(
-        g, blk, stencils, reg, rc, recon.data(),
-        [&](std::size_t lin, double pred) {
-          const std::uint32_t code = codes[code_idx++];
-          T out;
-          if (code == 0) {
-            out = unpred.read_pod<T>();
-          } else {
-            out = static_cast<T>(quant.recover(pred, code));
-          }
-          recon[lin] = out;
-          arr[lin] = out;
-        },
-        // Regression rows: stride-1 vectorized recovery into recon, then
-        // overwrite the code-0 slots from the exact-value stream in
-        // canonical order and mirror the row into the output array.
-        [&](std::size_t base, double row0, double s3, std::size_t n) {
-          const std::uint32_t* cs = codes.data() + code_idx;
-          T* out = recon.data() + base;
-          quant.recover_row<T>(cs, n, row0, s3, out);
-          for (std::size_t k = 0; k < n; ++k)
-            if (cs[k] == 0) out[k] = unpred.read_pod<T>();
-          for (std::size_t k = 0; k < n; ++k) arr[base + k] = out[k];
-          code_idx += n;
-        });
-  }
-  return Field("SZ2", std::move(arr));
-}
-
-}  // namespace
 
 Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
   EBLCIO_CHECK_ARG(opt.mode != BoundMode::kLossless,
@@ -527,11 +34,11 @@ Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
 
   // Stage 1 (parallel over slabs): prediction + quantization.
   const auto slabs = split_slabs(field, std::max(opt.threads, 1));
-  std::vector<SlabEncoding> encs(slabs.size());
+  std::vector<BlockEncoding> encs(slabs.size());
   parallel_for(slabs.size(), std::max(opt.threads, 1), [&](std::size_t i) {
-    encs[i] = field.dtype() == DType::kFloat32
-                  ? compress_slab<float>(slabs[i], header.abs_error_bound)
-                  : compress_slab<double>(slabs[i], header.abs_error_bound);
+    encs[i] = block_compress(slabs[i], header.abs_error_bound,
+                             BlockPredictor::kLorenzoRegression,
+                             QuantizerId::kLinearRecip, 0.0);
   });
 
   // Stage 2 (serial, as in the reference implementation): one Huffman +
@@ -552,7 +59,7 @@ Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
     append_sized(out, e.coeffs);
     append_sized(out, e.unpred);
   }
-  Bytes code_blob = encode_code_stream(all_codes, 2 * kRadius + 1);
+  Bytes code_blob = encode_code_stream(all_codes, kQuantAlphabet);
   append_bytes(out, code_blob);
   BufferPool::global().release(std::move(code_blob));
   return out;
@@ -598,12 +105,10 @@ Field Sz2Compressor::decompress(std::span<const std::byte> blob,
     ByteReader unpred(metas[i].unpred);
     std::span<const std::uint32_t> slab_codes(
         codes.data() + code_offsets[i], metas[i].ncodes);
-    slab_fields[i] =
-        header.dtype == DType::kFloat32
-            ? decompress_slab<float>(slab_header, slab_codes,
-                                     metas[i].mode_bits, coeffs, unpred)
-            : decompress_slab<double>(slab_header, slab_codes,
-                                      metas[i].mode_bits, coeffs, unpred);
+    slab_fields[i] = block_decompress(
+        slab_header, BlockPredictor::kLorenzoRegression,
+        QuantizerId::kLinearRecip, 0.0, slab_codes, metas[i].mode_bits,
+        coeffs, unpred);
   });
   return merge_slabs(slab_fields, header.dims, "SZ2");
 }

@@ -1,0 +1,562 @@
+// Composable codec framework (compressors/composed.h) test grid.
+//
+// Five suites:
+//  * ComposedNames      — codec-name round-trip and registry routing;
+//  * QuantizerTies      — the reciprocal-multiply half-integer-tie fix:
+//                         LinearQuantizer's code choice is locked to the
+//                         exact-divide DivLinearQuantizer at ties, scalar
+//                         and row paths alike (ISSUE PR-8 satellite);
+//  * LogQuantizerBound  — per-element bound property of the log quantizer;
+//  * ComposedGrid       — differential round-trip of EVERY predictor x
+//                         quantizer x encoder combination, rank 1D-4D,
+//                         float and double, three error bounds, with
+//                         decode determinism across thread counts and
+//                         serial==parallel sweep parity;
+//  * ComposedFuzz       — corrupt-stream handling: truncations, forged
+//                         component ids, component/payload mismatches and
+//                         mid-stage damage must raise CorruptStream, never
+//                         return a partial Field.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/error.h"
+#include "common/field.h"
+#include "common/rng.h"
+#include "compressors/backend.h"
+#include "compressors/composed.h"
+#include "compressors/compressor.h"
+#include "compressors/quantizer.h"
+#include "core/decision.h"
+#include "core/sweep.h"
+
+namespace eblcio {
+namespace {
+
+// Deterministic smooth-ish test field (decaying walk + ramp), pure Rng
+// arithmetic — the same construction the reference-blob suite uses.
+template <typename T>
+Field make_field(const std::vector<std::size_t>& dims, std::uint64_t seed) {
+  NdArray<T> arr(Shape{std::span<const std::size_t>(dims)});
+  Rng rng(seed);
+  double v = 0.0;
+  const std::size_t d_last = dims.back();
+  std::size_t i = 0;
+  for (auto& x : arr.span()) {
+    v = 0.96 * v + (rng.next_double() - 0.5);
+    const double ramp = 0.05 * static_cast<double>(i % d_last);
+    x = static_cast<T>(v + ramp);
+    ++i;
+  }
+  return Field("grid", std::move(arr));
+}
+
+std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void expect_within_bound(const Field& orig, const Field& back,
+                         double abs_eb) {
+  auto a = orig.as<T>().span();
+  auto b = back.as<T>().span();
+  ASSERT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double err = std::fabs(static_cast<double>(a[i]) -
+                                 static_cast<double>(b[i]));
+    worst = std::max(worst, err);
+    ASSERT_LE(err, abs_eb) << "element " << i << " out of bound";
+  }
+  // Sanity: the bound is actually exercised, not trivially zero.
+  EXPECT_GT(worst, 0.0);
+}
+
+// --- ComposedNames ---------------------------------------------------------
+
+TEST(ComposedNames, NameRoundTripAllConfigs) {
+  const auto grid = all_composed_configs();
+  ASSERT_EQ(grid.size(),
+            static_cast<std::size_t>(kNumPredictors) * kNumQuantizers *
+                kNumEncoders);
+  std::set<std::string> names;
+  for (const auto& config : grid) {
+    const std::string name = composed_codec_name(config);
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    const auto parsed = parse_composed_codec_name(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, config) << name;
+    // The registry materializes the config on demand, under its own name.
+    EXPECT_EQ(compressor(name).name(), name);
+  }
+}
+
+TEST(ComposedNames, MalformedNamesRejected) {
+  const char* bad[] = {
+      "composed:",
+      "composed:lorenzo1",
+      "composed:lorenzo1+linear",
+      "composed:lorenzo1+linear+huffman+extra",
+      "composed:bogus+linear+huffman",
+      "composed:lorenzo1+bogus+huffman",
+      "composed:lorenzo1+linear+bogus",
+      "decomposed:lorenzo1+linear+huffman",
+      "lorenzo1+linear+huffman",
+  };
+  for (const char* name : bad) {
+    EXPECT_FALSE(parse_composed_codec_name(name).has_value()) << name;
+    EXPECT_THROW(compressor(name), InvalidArgument) << name;
+  }
+}
+
+// --- QuantizerTies ---------------------------------------------------------
+
+// Exact half-integer tie: diff/eb2 = 2.5 precisely. The reciprocal-multiply
+// quotient 7.5 * (1/3.0) is NOT exactly 2.5, so without the tie fix the
+// reciprocal path could round to 2 where the exact divide rounds (halves
+// away from zero) to 3. This test locks the encoder-side code choice.
+TEST(QuantizerTies, HalfIntegerTieMatchesExactDivide) {
+  const double eb = 1.5;  // eb2 = 3.0, inv not exactly representable
+  const LinearQuantizer recip(eb);
+  const DivLinearQuantizer div(eb);
+
+  double r1 = 0.0, r2 = 0.0;
+  // +2.5 quotient: away-from-zero = 3 -> code radius + 3.
+  EXPECT_EQ(recip.quantize<double>(7.5, 0.0, &r1), 32768u + 3u);
+  EXPECT_EQ(div.quantize<double>(7.5, 0.0, &r2), 32768u + 3u);
+  EXPECT_EQ(r1, r2);
+  // -2.5 quotient: away-from-zero = -3 -> code radius - 3.
+  EXPECT_EQ(recip.quantize<double>(-7.5, 0.0, &r1), 32768u - 3u);
+  EXPECT_EQ(div.quantize<double>(-7.5, 0.0, &r2), 32768u - 3u);
+  EXPECT_EQ(r1, r2);
+}
+
+// Sweep many constructed half-integer ties with an eb2 whose reciprocal is
+// inexact; the reciprocal path must agree with the exact divide on every
+// one (this is precisely the zone round_quotient_half_away re-derives).
+TEST(QuantizerTies, ConstructedTieSweepAgrees) {
+  const double eb = 0.3;  // eb2 = 0.6; 1/0.6 is inexact
+  const LinearQuantizer recip(eb);
+  const DivLinearQuantizer div(eb);
+  int disagreements = 0;
+  for (int k = -2000; k <= 2000; ++k) {
+    // value whose quotient is as close to k + 0.5 as doubles allow
+    const double value = (static_cast<double>(k) + 0.5) * (2.0 * eb);
+    double r1 = 0.0, r2 = 0.0;
+    const auto c1 = recip.quantize<double>(value, 0.0, &r1);
+    const auto c2 = div.quantize<double>(value, 0.0, &r2);
+    if (c1 != c2) ++disagreements;
+    if (c1 && c1 == c2) EXPECT_EQ(r1, r2);
+  }
+  EXPECT_EQ(disagreements, 0);
+}
+
+// Random differential: over random (value, pred, eb) triples the
+// production reciprocal quantizer and the textbook divide quantizer must
+// emit identical codes and reconstructions.
+TEST(QuantizerTies, RandomDifferentialRecipVsDivide) {
+  Rng rng(0xd1ffULL);
+  int checked = 0;
+  for (int trial = 0; trial < 200000; ++trial) {
+    const double eb = 1e-5 + rng.next_double() * 0.5;
+    const LinearQuantizer recip(eb);
+    const DivLinearQuantizer div(eb);
+    const double pred = (rng.next_double() - 0.5) * 100.0;
+    const double value = pred + (rng.next_double() - 0.5) * 64.0 * eb;
+    double r1 = 0.0, r2 = 0.0;
+    const auto c1 = recip.quantize<float>(value, pred, &r1);
+    const auto c2 = div.quantize<float>(value, pred, &r2);
+    ASSERT_EQ(c1, c2) << "value=" << value << " pred=" << pred
+                      << " eb=" << eb;
+    if (c1) {
+      ASSERT_EQ(r1, r2);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 100000);  // the comparison actually exercised codes
+}
+
+// The vectorized row path must stay bit-identical to the scalar path even
+// when the row contains half-integer ties (the any_tie redo).
+TEST(QuantizerTies, RowPathMatchesScalarOnTies) {
+  const double eb = 0.25;  // eb2 = 0.5 (exact, so ties are hit exactly)
+  const LinearQuantizer quant(eb);
+  const double row0 = 1.0, slope = 0.125;
+  constexpr std::size_t kN = 64;
+  double data[kN];
+  Rng rng(7);
+  for (std::size_t k = 0; k < kN; ++k) {
+    const double pred = row0 + slope * static_cast<double>(k);
+    // Every third element sits exactly on a half-integer quotient.
+    data[k] = (k % 3 == 0)
+                  ? pred + (static_cast<double>(k % 7) + 0.5) * 0.5
+                  : pred + (rng.next_double() - 0.5) * 4.0;
+  }
+  std::uint32_t row_codes[kN];
+  double row_recon[kN];
+  quant.quantize_row<double>(data, kN, row0, slope, row_codes, row_recon);
+  for (std::size_t k = 0; k < kN; ++k) {
+    double r = data[k];
+    const auto c = quant.quantize<double>(
+        data[k], row0 + slope * static_cast<double>(k), &r);
+    ASSERT_EQ(row_codes[k], c) << "row/scalar divergence at k=" << k;
+    ASSERT_EQ(row_recon[k], r) << "row/scalar recon divergence at k=" << k;
+  }
+}
+
+// --- LogQuantizerBound -----------------------------------------------------
+
+TEST(LogQuantizerBound, PerElementBoundHolds) {
+  Rng rng(0x10eULL);
+  const double vmax = 50.0;
+  for (double eb : {1e-1, 1e-3, 1e-5}) {
+    const LogQuantizer quant(eb, vmax);
+    int coded = 0;
+    for (int trial = 0; trial < 20000; ++trial) {
+      const double value = (rng.next_double() - 0.5) * 2.0 * vmax;
+      const double pred = value + (rng.next_double() - 0.5) * 16.0 * eb;
+      double recon = value;
+      const auto code = quant.quantize<double>(value, pred, &recon);
+      if (code == 0) continue;  // unpredictable: caller stores exactly
+      ++coded;
+      ASSERT_LE(std::fabs(recon - value), eb)
+          << "value=" << value << " pred=" << pred << " eb=" << eb;
+      // recover() must reproduce what quantize() promised.
+      ASSERT_EQ(static_cast<double>(static_cast<double>(
+                    quant.recover(pred, code))),
+                recon);
+    }
+    EXPECT_GT(coded, 10000) << "eb=" << eb;
+  }
+}
+
+// --- ComposedGrid ----------------------------------------------------------
+
+struct GridShape {
+  const char* label;
+  std::vector<std::size_t> dims;
+};
+
+const std::vector<GridShape>& grid_shapes() {
+  static const std::vector<GridShape> kShapes = {
+      {"1d", {400}},
+      {"2d", {24, 20}},
+      {"3d", {12, 10, 8}},
+      {"4d", {6, 6, 5, 4}},
+  };
+  return kShapes;
+}
+
+// One case of the differential grid: compress, enforce the per-element
+// bound against the header's absolute bound, and check the decoder is
+// deterministic across thread counts.
+template <typename T>
+void check_grid_case(Compressor& comp, const GridShape& shape, double rel_eb) {
+  SCOPED_TRACE(testing::Message() << comp.name() << " " << shape.label
+                                  << " eb=" << rel_eb);
+  const Field f = make_field<T>(shape.dims, 0x5eedULL);
+  CompressOptions opt;
+  opt.mode = BoundMode::kValueRangeRel;
+  opt.error_bound = rel_eb;
+  const Bytes blob = comp.compress(f, opt);
+
+  const BlobHeader header = peek_header(blob);
+  EXPECT_EQ(header.codec, comp.name());
+  ASSERT_GT(header.abs_error_bound, 0.0);
+
+  const Field back = comp.decompress(blob, 1);
+  ASSERT_EQ(back.shape(), f.shape());
+  ASSERT_EQ(back.dtype(), f.dtype());
+  expect_within_bound<T>(f, back, header.abs_error_bound);
+
+  // Decode determinism across --jobs: byte-identical reconstructions.
+  const Field back3 = comp.decompress(blob, 3);
+  ASSERT_EQ(back3.shape(), f.shape());
+  EXPECT_TRUE(std::equal(back.bytes().begin(), back.bytes().end(),
+                         back3.bytes().begin(), back3.bytes().end()))
+      << "decode differs between 1 and 3 threads";
+}
+
+// Every predictor x quantizer x encoder combination, every rank 1D-4D,
+// float and double, three relative bounds — per-element error within the
+// header bound everywhere.
+TEST(ComposedGrid, AllCombosRoundTripWithinBound) {
+  for (const auto& config : all_composed_configs()) {
+    Compressor& comp = compressor(composed_codec_name(config));
+    for (const auto& shape : grid_shapes()) {
+      for (double rel_eb : {1e-2, 1e-3, 1e-4}) {
+        check_grid_case<float>(comp, shape, rel_eb);
+        check_grid_case<double>(comp, shape, rel_eb);
+      }
+    }
+  }
+}
+
+// Chunked (multi-slab) layout round-trip: the quantizer parameter is
+// computed whole-field, so chunked blobs must still honour the bound and
+// decode identically at any thread count.
+TEST(ComposedGrid, ChunkedRoundTrip) {
+  const Field f = make_field<float>({32, 16, 12}, 0x5eedULL);
+  for (const auto& config : all_composed_configs()) {
+    // One chunked case per (predictor, quantizer) pair keeps runtime sane;
+    // encoders are exercised exhaustively by the serial grid above.
+    if (config.encoder != EncoderId::kHuffmanLz) continue;
+    Compressor& comp = compressor(composed_codec_name(config));
+    SCOPED_TRACE(comp.name());
+    CompressOptions opt;
+    opt.error_bound = 1e-3;
+    opt.threads = 4;
+    const Bytes blob = comp.compress(f, opt);
+    const Field back4 = comp.decompress(blob, 4);
+    ASSERT_EQ(back4.shape(), f.shape());
+    expect_within_bound<float>(f, back4, peek_header(blob).abs_error_bound);
+    const Field back1 = comp.decompress(blob, 1);
+    EXPECT_TRUE(std::equal(back4.bytes().begin(), back4.bytes().end(),
+                           back1.bytes().begin(), back1.bytes().end()));
+  }
+}
+
+// Serial and parallel sweeps over the full grid must produce bit-identical
+// blobs cell for cell (core/sweep.h's options.parallel toggle).
+TEST(ComposedGrid, SweepSerialParallelParity) {
+  const Field f = make_field<float>({16, 16, 16}, 0x5eedULL);
+  auto eval = [&](const ComposedConfig& config, SweepCellContext&) {
+    CompressOptions opt;
+    opt.error_bound = 1e-3;
+    return fnv1a(compressor(composed_codec_name(config)).compress(f, opt));
+  };
+  SweepOptions serial_opts;
+  serial_opts.parallel = false;
+  const auto serial = sweep_grid(all_composed_configs(), eval, serial_opts);
+  SweepOptions parallel_opts;
+  parallel_opts.parallel = true;
+  const auto parallel = sweep_grid(all_composed_configs(), eval,
+                                   parallel_opts);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  serial.rethrow_first_error();
+  parallel.rethrow_first_error();
+  for (std::size_t i = 0; i < serial.cells.size(); ++i) {
+    ASSERT_TRUE(serial.cells[i].ok());
+    ASSERT_TRUE(parallel.cells[i].ok());
+    EXPECT_EQ(*serial.cells[i].result, *parallel.cells[i].result)
+        << composed_codec_name(serial.cells[i].cell);
+  }
+}
+
+// advise_compression routes composed configurations as sweep cells: given
+// >= 8 composed codec names it trials each (codec, bound) pair, streams
+// progress in domain order, and ranks the candidates.
+TEST(ComposedGrid, AdvisorRanksComposedConfigs) {
+  const Field f = make_field<float>({24, 24, 24}, 0x5eedULL);
+  AdvisorConstraints constraints;
+  constraints.objective = Objective::kMaxRatio;  // time-independent score
+  constraints.psnr_min_db = 20.0;
+  constraints.error_bounds = {1e-2, 1e-3};
+  constraints.codecs = {
+      "composed:lorenzo1+linear-recip+huffman-lz",
+      "composed:lorenzo1+linear+huffman",
+      "composed:lorenzo1+log+huffman-lut",
+      "composed:lorenzo2+linear-recip+huffman",
+      "composed:lorenzo2+linear+lz",
+      "composed:regression+linear-recip+huffman-lz",
+      "composed:interp-cubic+linear-recip+huffman",
+      "composed:interp-cubic+log+huffman-lz",
+      "composed:interp-linear+linear+raw",
+  };
+
+  std::size_t calls = 0, last_done = 0;
+  const auto report = advise_compression(
+      f, constraints,
+      [&](const AdvisorCandidate&, std::size_t done, std::size_t total) {
+        // Streamed in domain order with monotone running progress.
+        EXPECT_EQ(total, constraints.codecs.size() *
+                             constraints.error_bounds.size());
+        EXPECT_EQ(done, last_done + 1);
+        last_done = done;
+        ++calls;
+      });
+  EXPECT_EQ(calls,
+            constraints.codecs.size() * constraints.error_bounds.size());
+  ASSERT_EQ(report.candidates.size(), calls);
+  // Ranked by descending score.
+  for (std::size_t i = 1; i < report.candidates.size(); ++i)
+    EXPECT_GE(report.candidates[i - 1].score, report.candidates[i].score);
+  // A feasible recommendation exists and is one of the composed names.
+  ASSERT_FALSE(report.recommendation.codec.empty());
+  EXPECT_TRUE(report.recommendation.codec.starts_with("composed:"));
+  EXPECT_TRUE(report.recommendation.feasible);
+  // Serial execution reproduces the same ranking data exactly.
+  AdvisorConstraints serial_constraints = constraints;
+  serial_constraints.parallel = false;
+  const auto serial_report = advise_compression(f, serial_constraints);
+  ASSERT_EQ(serial_report.candidates.size(), report.candidates.size());
+  for (std::size_t i = 0; i < report.candidates.size(); ++i) {
+    EXPECT_EQ(serial_report.candidates[i].codec,
+              report.candidates[i].codec);
+    EXPECT_EQ(serial_report.candidates[i].error_bound,
+              report.candidates[i].error_bound);
+    EXPECT_EQ(serial_report.candidates[i].ratio,
+              report.candidates[i].ratio);
+    EXPECT_EQ(serial_report.candidates[i].psnr_db,
+              report.candidates[i].psnr_db);
+  }
+}
+
+// --- ComposedFuzz ----------------------------------------------------------
+
+struct ComposedBlobMap {
+  Bytes blob;
+  std::size_t payload_off = 0;    // first byte of the chunk payload
+  std::size_t code_blob_off = 0;  // first byte of the encoder blob (its tag)
+  std::size_t ncodes_off = 0;     // the payload's u64 code count
+};
+
+// Builds a serial composed blob and locates the payload landmarks the
+// fuzz cases flip bytes at.
+ComposedBlobMap mapped_blob(const std::string& codec_name) {
+  ComposedBlobMap m;
+  const Field f = make_field<float>({16, 12, 10}, 0x5eedULL);
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  m.blob = compressor(codec_name).compress(f, opt);
+
+  // Serial layout: [BlobHeader][u8 kLayoutSingle][u64 size][payload].
+  Bytes header_bytes;
+  peek_header(m.blob).encode(header_bytes);
+  m.payload_off = header_bytes.size() + 1 + 8;
+
+  // Payload: [12B component header][u64 ncodes][3 sized streams][code blob]
+  // for the block family, [u64 ncodes][2 sized streams][code blob] for the
+  // interp family — walk the sized streams to find the encoder blob.
+  const bool interp = codec_name.find("interp") != std::string::npos;
+  ByteReader r(std::span<const std::byte>(m.blob).subspan(m.payload_off));
+  r.read_pod<std::uint8_t>();  // version
+  r.read_pod<std::uint8_t>();  // predictor
+  r.read_pod<std::uint8_t>();  // quantizer
+  r.read_pod<std::uint8_t>();  // encoder
+  r.read_pod<double>();        // quant_param
+  m.ncodes_off = m.payload_off + r.pos();
+  r.read_pod<std::uint64_t>();  // ncodes
+  for (int i = 0; i < (interp ? 2 : 3); ++i) read_sized(r);
+  m.code_blob_off = m.payload_off + r.pos();
+  EXPECT_LT(m.code_blob_off, m.blob.size());
+  return m;
+}
+
+void expect_corrupt(const Bytes& blob, const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_THROW(decompress_any(blob, 1), CorruptStream);
+  // Parallel decode paths must reject it identically.
+  EXPECT_THROW(decompress_any(blob, 3), CorruptStream);
+}
+
+Bytes with_byte(const Bytes& blob, std::size_t off, std::uint8_t value) {
+  Bytes mutated = blob;
+  mutated[off] = static_cast<std::byte>(value);
+  return mutated;
+}
+
+TEST(ComposedFuzz, TruncationsRaiseCorruptStream) {
+  const auto m = mapped_blob("composed:lorenzo1+linear-recip+huffman");
+  // Truncate inside the blob header, at the layout byte, inside the
+  // component header, mid sized-streams, and inside the code blob.
+  const std::size_t cuts[] = {m.payload_off - 9,      // inside the u64 size
+                              m.payload_off,          // payload absent
+                              m.payload_off + 6,      // mid component header
+                              m.ncodes_off + 3,       // mid code count
+                              m.code_blob_off - 1,    // code blob absent
+                              m.code_blob_off + 2,    // mid code blob
+                              m.blob.size() - 1};     // last byte missing
+  for (std::size_t cut : cuts) {
+    ASSERT_LT(cut, m.blob.size());
+    Bytes truncated(m.blob.begin(),
+                    m.blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    SCOPED_TRACE(testing::Message() << "cut at " << cut);
+    EXPECT_THROW(decompress_any(truncated, 1), CorruptStream);
+  }
+  // Header-only truncation can't even name a codec.
+  Bytes tiny(m.blob.begin(), m.blob.begin() + 3);
+  EXPECT_THROW(decompress_any(tiny, 1), Error);
+}
+
+TEST(ComposedFuzz, ForgedComponentHeaderRaiseCorruptStream) {
+  const auto m = mapped_blob("composed:lorenzo1+linear-recip+huffman");
+  const std::size_t version_off = m.payload_off;
+  const std::size_t pred_off = m.payload_off + 1;
+  const std::size_t quant_off = m.payload_off + 2;
+  const std::size_t enc_off = m.payload_off + 3;
+
+  expect_corrupt(with_byte(m.blob, version_off, 0xFF), "bad version");
+  expect_corrupt(with_byte(m.blob, pred_off, 200), "predictor out of range");
+  expect_corrupt(with_byte(m.blob, quant_off, 77), "quantizer out of range");
+  expect_corrupt(with_byte(m.blob, enc_off, 99), "encoder out of range");
+  // Valid-but-different ids: the payload names a component triple that
+  // contradicts the blob header's codec string.
+  expect_corrupt(
+      with_byte(m.blob, pred_off,
+                static_cast<std::uint8_t>(PredictorId::kLorenzo2)),
+      "forged valid predictor");
+  expect_corrupt(with_byte(m.blob, quant_off,
+                           static_cast<std::uint8_t>(QuantizerId::kLog)),
+                 "forged valid quantizer");
+  expect_corrupt(with_byte(m.blob, enc_off,
+                           static_cast<std::uint8_t>(EncoderId::kRaw)),
+                 "forged valid encoder");
+  // Non-finite quantizer parameter (a NaN double's top byte).
+  Bytes nan_param = m.blob;
+  const double nan = std::nan("");
+  std::memcpy(nan_param.data() + m.payload_off + 4, &nan, sizeof nan);
+  expect_corrupt(nan_param, "non-finite quant param");
+}
+
+TEST(ComposedFuzz, EncoderPayloadMismatchRaisesCorruptStream) {
+  // The component header says "huffman" but the code blob's wire tag says
+  // otherwise: caught before any entropy decode runs.
+  const auto m = mapped_blob("composed:lorenzo1+linear-recip+huffman");
+  expect_corrupt(with_byte(m.blob, m.code_blob_off, 0xEE),
+                 "invalid backend tag");
+  expect_corrupt(with_byte(m.blob, m.code_blob_off, kBackendRaw),
+                 "valid but mismatched backend tag");
+}
+
+TEST(ComposedFuzz, ForgedCodeCountRaisesCorruptStream) {
+  const auto m = mapped_blob("composed:lorenzo1+linear-recip+huffman");
+  // Block payloads carry one code per element; +1 must be rejected.
+  std::uint64_t ncodes = 0;
+  std::memcpy(&ncodes, m.blob.data() + m.ncodes_off, sizeof ncodes);
+  Bytes forged = m.blob;
+  const std::uint64_t bumped = ncodes + 1;
+  std::memcpy(forged.data() + m.ncodes_off, &bumped, sizeof bumped);
+  expect_corrupt(forged, "code count mismatch");
+}
+
+TEST(ComposedFuzz, InterpFamilyFuzz) {
+  const auto m = mapped_blob("composed:interp-cubic+log+huffman-lz");
+  expect_corrupt(with_byte(m.blob, m.payload_off, 0xFF), "bad version");
+  expect_corrupt(
+      with_byte(m.blob, m.payload_off + 1,
+                static_cast<std::uint8_t>(PredictorId::kInterpLinear)),
+      "forged interp predictor");
+  expect_corrupt(with_byte(m.blob, m.code_blob_off, 0xEE),
+                 "invalid backend tag");
+  for (std::size_t cut :
+       {m.payload_off + 6, m.code_blob_off + 1, m.blob.size() - 1}) {
+    Bytes truncated(m.blob.begin(),
+                    m.blob.begin() + static_cast<std::ptrdiff_t>(cut));
+    SCOPED_TRACE(testing::Message() << "cut at " << cut);
+    EXPECT_THROW(decompress_any(truncated, 1), CorruptStream);
+  }
+}
+
+}  // namespace
+}  // namespace eblcio

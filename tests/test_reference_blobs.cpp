@@ -23,7 +23,11 @@
 #include "codec/shuffle.h"
 #include "common/field.h"
 #include "common/rng.h"
+#include "compressors/backend.h"
+#include "compressors/block_core.h"
+#include "compressors/chunking.h"
 #include "compressors/compressor.h"
+#include "compressors/interp_core.h"
 #include "data/dataset.h"
 
 namespace eblcio {
@@ -224,6 +228,98 @@ TEST(ReferenceBlobs, Zfp) {
 
 TEST(ReferenceBlobs, Szx) {
   check_codec_case("szx_3d_f32", "SZx", DType::kFloat32, {32, 32, 32}, 1);
+}
+
+// --- Component-framework equivalence ---------------------------------------
+//
+// The composed-codec refactor (PR 8) factored SZ2's kernels into
+// block_core and templated interp_core over the quantizer. These tests
+// pin that the framework components, assembled with the legacy framing,
+// reproduce the frozen SZ2/SZ3 wire formats byte-for-byte — i.e. the
+// legacy codecs really are configurations of the new framework, not
+// parallel implementations.
+
+BlobHeader legacy_header(const char* codec, const Field& f,
+                         const CompressOptions& opt) {
+  BlobHeader h;
+  h.codec = codec;
+  h.dtype = f.dtype();
+  h.dims = f.shape().dims_vector();
+  h.abs_error_bound = absolute_bound_for(f, opt);
+  h.requested_mode = opt.mode;
+  h.requested_bound = opt.error_bound;
+  return h;
+}
+
+// Assembles an SZ2 blob from the framework components: the
+// (kLorenzoRegression, kLinearRecip) block engine plus the huffman-lz
+// encoder, behind SZ2's single-slab framing.
+void check_sz2_equivalence(const char* pinned_name, DType dtype,
+                           const std::vector<std::size_t>& dims) {
+  SCOPED_TRACE(pinned_name);
+  const Field f = dtype == DType::kFloat32
+                      ? make_field<float>(dims, 0x5eedULL)
+                      : make_field<double>(dims, 0x5eedULL);
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  const Bytes expect = compressor("SZ2").compress(f, opt);
+
+  const BlobHeader header = legacy_header("SZ2", f, opt);
+  const BlockEncoding enc = block_compress(
+      f, header.abs_error_bound, BlockPredictor::kLorenzoRegression,
+      QuantizerId::kLinearRecip, 0.0);
+  Bytes out;
+  header.encode(out);
+  append_pod<std::uint32_t>(out, 1);  // one slab (serial compression)
+  append_pod<std::uint64_t>(out, enc.codes.size());
+  append_sized(out, enc.mode_bits);
+  append_sized(out, enc.coeffs);
+  append_sized(out, enc.unpred);
+  // The huffman-lz encoder component is the legacy entropy stage.
+  append_bytes(out, encode_codes_with(EncoderId::kHuffmanLz, enc.codes,
+                                      kQuantAlphabet));
+
+  ASSERT_EQ(out, expect) << "component-assembled SZ2 blob diverged";
+  EXPECT_EQ(fnv1a(out), pinned(pinned_name).blob_hash);
+}
+
+TEST(ReferenceBlobs, ComposedSz2Equivalence) {
+  check_sz2_equivalence("sz2_1d_f32", DType::kFloat32, {4096});
+  check_sz2_equivalence("sz2_2d_f32", DType::kFloat32, {96, 96});
+  check_sz2_equivalence("sz2_3d_f32", DType::kFloat32, {32, 32, 32});
+  check_sz2_equivalence("sz2_3d_f64", DType::kFloat64, {32, 32, 32});
+}
+
+// Assembles an SZ3 blob from the interp engine at its default (legacy)
+// configuration — which, post-refactor, routes through the same templated
+// kernel the composed interp-cubic configurations use.
+void check_interp_equivalence(const char* pinned_name,
+                              const std::vector<std::size_t>& dims) {
+  SCOPED_TRACE(pinned_name);
+  const Field f = make_field<float>(dims, 0x5eedULL);
+  CompressOptions opt;
+  opt.error_bound = 1e-3;
+  const Bytes expect = compressor("SZ3").compress(f, opt);
+
+  const BlobHeader header = legacy_header("SZ3", f, opt);
+  InterpConfig config;  // legacy defaults, incl. the linear-recip quantizer
+  const InterpEncoding enc =
+      interp_compress(f, header.abs_error_bound, config);
+  Bytes out;
+  header.encode(out);
+  append_pod<std::uint8_t>(out, kLayoutSingle);
+  const Bytes payload = interp_payload_encode(config, enc);
+  append_pod<std::uint64_t>(out, payload.size());
+  append_bytes(out, payload);
+
+  ASSERT_EQ(out, expect) << "component-assembled SZ3 blob diverged";
+  EXPECT_EQ(fnv1a(out), pinned(pinned_name).blob_hash);
+}
+
+TEST(ReferenceBlobs, ComposedInterpEquivalence) {
+  check_interp_equivalence("sz3_1d_f32", {4096});
+  check_interp_equivalence("sz3_2d_f32", {96, 96});
+  check_interp_equivalence("sz3_3d_f32", {32, 32, 32});
 }
 
 }  // namespace
