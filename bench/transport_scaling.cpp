@@ -1,0 +1,325 @@
+// Sector-ring transport scaling: how the streamed-write makespan responds
+// to sector size, ring depth (credits per channel), channel count, and
+// contending PFS clients — the knobs of the io/transport endpoint.
+//
+// Each grid cell builds its own PFS world with a deliberately wire-heavy
+// configuration (small stripes, fat per-stripe RPC, modest client link):
+// the regime the transport exists for, where the blocking per-chunk append
+// path serializes compression behind stripe RPCs and transfer. The cell
+// streams the dataset out twice — once through the sector-ring transport
+// (run_streamed_compress_write, stream.use_transport = true) and once
+// through the PR-8 blocking path — and requires the two containers to be
+// byte-identical ("bitpar" column; nonzero exit on any mismatch). The
+// speedup column is blocking_total_s / streamed_total_s from the
+// transported run's own reconstruction, so both schedules rest on the same
+// host compress samples.
+//
+// Grid flags as in every grid bench: --scale/--reps/--seed/--serial/
+// --verify/--jobs; plus --eb, --codec, --dataset, --json. Modeled-time and
+// occupancy columns ride on host-measured kernel timings and are excluded
+// from the --verify row comparison; sector counts and bit parity are
+// deterministic and kept.
+//
+// After the grid, a kernel section times the full transported write
+// (streamed_write) vs the blocking write (streamed_write_serial) plus the
+// memcpy calibration row, and writes everything to BENCH_transport.json.
+// CI's Release leg gates streamed_write throughput, normalized in-run by
+// streamed_write_serial, against bench/baselines/BENCH_transport.json
+// (scripts/check_perf_baseline.py).
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "io/pfs.h"
+
+using namespace eblcio;
+
+namespace {
+
+volatile std::size_t g_sink = 0;
+
+struct KernelResult {
+  std::string name;
+  double seconds = 0.0;
+  double bytes = 0.0;
+  double mbps() const { return bytes > 0 ? bytes / seconds / 1e6 : 0.0; }
+};
+
+template <typename F>
+KernelResult run_kernel(const std::string& name, int reps, double bytes,
+                        F&& fn) {
+  KernelResult r;
+  r.name = name;
+  r.bytes = bytes;
+  r.seconds = 1e30;
+  for (int i = 0; i < reps; ++i) {
+    WallTimer t;
+    g_sink = g_sink + fn();
+    r.seconds = std::min(r.seconds, t.elapsed_s());
+  }
+  return r;
+}
+
+// The wire-heavy PFS the sweep prices against: 128 KiB stripes with a fat
+// per-stripe RPC and a deliberately thin client link, so chunk movement —
+// not compression — dominates the schedule. Both paths are priced on the
+// same wire; what the sweep isolates is how much of the per-stripe RPC
+// budget the transport hides under concurrent channel transfers.
+PfsConfig wire_heavy_pfs() {
+  PfsConfig pc;
+  pc.stripe_size = 32u << 10;
+  pc.rpc_latency_s = 2e-3;
+  pc.client_bandwidth_bps = 4e6;
+  pc.ost_bandwidth_bps = 1.2e9;
+  return pc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const auto env = bench::BenchEnv::from_cli(args);
+  const double eb = args.get_double("eb", 1e-4);
+  const std::string codec = args.get("codec", "SZx");
+  const std::string dataset = args.get("dataset", "NYX");
+  const std::string json_path = args.get("json", "BENCH_transport.json");
+  bench::print_bench_header(
+      "Transport",
+      "Streamed write vs sector size x ring depth x channels x clients",
+      env);
+
+  const Field& field = bench::bench_dataset(dataset, env);
+
+  struct Cell {
+    std::size_t sector_kb = 0;
+    int depth = 0;
+    int channels = 0;
+    int clients = 0;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t sector_kb : {64u, 256u})
+    for (int depth : {1, 4, 8})
+      for (int channels : {1, 2, 4})
+        for (int clients : {1, 4})
+          cells.push_back({sector_kb, depth, channels, clients});
+  const std::size_t per_group = 6;  // channels x clients rows per depth
+
+  struct CellOut {
+    std::size_t sectors = 0;
+    std::size_t credit_stalls = 0;
+    double mean_inflight = 0.0;
+    double stream_s = 0.0;    // transported makespan
+    double blocking_s = 0.0;  // PR-8 blocking-path reconstruction
+    double speedup = 0.0;
+    bool bit_parity = false;
+  };
+  std::atomic<bool> parity_ok{true};
+
+  auto eval = [&](const Cell& cell, SweepCellContext&) {
+    PipelineConfig cfg;
+    cfg.codec = codec;
+    cfg.error_bound = eb;
+    StreamConfig stream;
+    stream.slabs = 12;
+    stream.use_transport = true;
+    stream.transport.sector_bytes = cell.sector_kb << 10;
+    stream.transport.ring_depth = cell.depth;
+    stream.transport.channels = cell.channels;
+
+    // Transported run, priced against clients-1 extra registered writers.
+    PfsSimulator pfs(wire_heavy_pfs());
+    std::optional<PfsSimulator::WriterScope> fleet;
+    if (cell.clients > 1) fleet.emplace(pfs, cell.clients - 1);
+    const auto rec = run_streamed_compress_write(field, cfg, pfs, stream);
+
+    // Blocking run of the identical pipeline in its own world: the tentpole
+    // invariant is that the two containers are byte-identical.
+    StreamConfig blocking = stream;
+    blocking.use_transport = false;
+    PfsSimulator blocking_pfs(wire_heavy_pfs());
+    std::optional<PfsSimulator::WriterScope> blocking_fleet;
+    if (cell.clients > 1) blocking_fleet.emplace(blocking_pfs,
+                                                 cell.clients - 1);
+    const auto bre =
+        run_streamed_compress_write(field, cfg, blocking_pfs, blocking);
+
+    CellOut out;
+    out.sectors = rec.transport.sectors;
+    out.credit_stalls = rec.transport.credit_stalls;
+    out.mean_inflight = rec.transport.mean_inflight;
+    out.stream_s = rec.streamed_total_s;
+    out.blocking_s = rec.blocking_total_s;
+    out.speedup =
+        rec.streamed_total_s > 0 ? rec.blocking_total_s / rec.streamed_total_s
+                                 : 0.0;
+    out.bit_parity = pfs.read_file(rec.path) == blocking_pfs.read_file(bre.path);
+    if (!out.bit_parity) parity_ok = false;
+    return out;
+  };
+
+  const auto cell_key = [](const Cell& cell) {
+    return "s" + std::to_string(cell.sector_kb) + "_d" +
+           std::to_string(cell.depth) + "_ch" +
+           std::to_string(cell.channels) + "_c" + std::to_string(cell.clients);
+  };
+  std::map<std::string, CellOut> outs;
+
+  // Columns resting on host-measured compress samples or host scheduling
+  // races (stalls, occupancy, modeled times), excluded from --verify.
+  constexpr std::size_t kStallCol = 1, kInflightCol = 2, kStreamCol = 3,
+                        kBlockCol = 4, kSpeedupCol = 5;
+  auto render = [&](const Cell& cell, const CellOut& out) {
+    outs[cell_key(cell)] = out;
+    std::vector<std::string> row(7);
+    row[0] = std::to_string(out.sectors);
+    row[kStallCol] = std::to_string(out.credit_stalls);
+    row[kInflightCol] = fmt_double(out.mean_inflight, 2);
+    row[kStreamCol] = fmt_double(out.stream_s, 4);
+    row[kBlockCol] = fmt_double(out.blocking_s, 4);
+    row[kSpeedupCol] = fmt_double(out.speedup, 2) + "x";
+    row[6] = out.bit_parity ? "ok" : "FAIL";
+    return row;
+  };
+  auto verify_view = [](const Cell&, const std::vector<std::string>& row) {
+    std::vector<std::string> deterministic;
+    for (std::size_t i = 0; i < row.size(); ++i)
+      if (i != kStallCol && i != kInflightCol && i != kStreamCol &&
+          i != kBlockCol && i != kSpeedupCol)
+        deterministic.push_back(row[i]);
+    return bench::detail::join_fragment(deterministic);
+  };
+
+  std::optional<bench::StreamedTable> table;
+  const auto summary = bench::run_grid_bench(
+      cells, env, eval, render,
+      [&](const Cell& cell, std::size_t index,
+          const std::vector<std::string>& fragment) {
+        if (index == 0)
+          table.emplace(std::vector<std::string>{
+              "sector", "depth", "chan", "clients", "sectors", "stalls",
+              "inflight", "strm (s)", "blocking (s)", "speedup", "bitpar"});
+        else if (index % per_group == 0)
+          table->add_rule();
+        std::vector<std::string> row = {std::to_string(cell.sector_kb) + "K",
+                                        std::to_string(cell.depth),
+                                        std::to_string(cell.channels),
+                                        std::to_string(cell.clients)};
+        row.insert(row.end(), fragment.begin(), fragment.end());
+        table->add_row(row);
+      },
+      verify_view);
+  if (table) table->finish();
+  bench::print_grid_summary(summary);
+
+  // The acceptance slice: ring depth >= 4 with >= 2 channels must beat the
+  // blocking path.
+  double accept_speedup = 0.0;
+  bench::JsonObject json_cells;
+  for (const Cell& cell : cells) {
+    const auto it = outs.find(cell_key(cell));
+    if (it == outs.end()) continue;
+    const CellOut& out = it->second;
+    if (cell.depth >= 4 && cell.channels >= 2)
+      accept_speedup = std::max(accept_speedup, out.speedup);
+    bench::JsonObject c;
+    c.set("sector_kb", static_cast<std::uint64_t>(cell.sector_kb));
+    c.set("ring_depth", static_cast<std::uint64_t>(cell.depth));
+    c.set("channels", static_cast<std::uint64_t>(cell.channels));
+    c.set("clients", static_cast<std::uint64_t>(cell.clients));
+    c.set("sectors", static_cast<std::uint64_t>(out.sectors));
+    c.set("credit_stalls", static_cast<std::uint64_t>(out.credit_stalls));
+    c.set("mean_inflight", out.mean_inflight);
+    c.set("stream_s", out.stream_s);
+    c.set("blocking_s", out.blocking_s);
+    c.set("speedup", out.speedup);
+    json_cells.set(cell_key(cell), c);
+  }
+  std::printf("\nbest transport speedup at depth>=4, channels>=2: %sx\n",
+              fmt_double(accept_speedup, 2).c_str());
+
+  // --- kernel section: transported vs blocking streamed write --------------
+  const int reps = std::max(1, env.reps);
+  const double field_mb = static_cast<double>(field.size_bytes());
+  PipelineConfig kcfg;
+  kcfg.codec = codec;
+  kcfg.error_bound = eb;
+  StreamConfig kstream;
+  kstream.slabs = 12;
+
+  std::vector<KernelResult> kernels;
+  {
+    const auto src = field.bytes();
+    Bytes dst(src.size());
+    kernels.push_back(
+        run_kernel("memcpy", reps, static_cast<double>(src.size()), [&] {
+          std::memcpy(dst.data(), src.data(), src.size());
+          return static_cast<std::size_t>(dst[0]);
+        }));
+  }
+  kernels.push_back(run_kernel("streamed_write", reps, field_mb, [&] {
+    PfsSimulator pfs(wire_heavy_pfs());
+    StreamConfig s = kstream;
+    s.use_transport = true;
+    return run_streamed_compress_write(field, kcfg, pfs, s).compressed_bytes;
+  }));
+  kernels.push_back(run_kernel("streamed_write_serial", reps, field_mb, [&] {
+    PfsSimulator pfs(wire_heavy_pfs());
+    StreamConfig s = kstream;
+    s.use_transport = false;
+    return run_streamed_compress_write(field, kcfg, pfs, s).compressed_bytes;
+  }));
+
+  std::printf("\nstreamed write, host wall (best of %d):\n", reps);
+  bench::StreamedTable ktable({"kernel", "best (ms)", "MB/s"});
+  for (const auto& k : kernels)
+    ktable.add_row({k.name, fmt_double(k.seconds * 1e3, 3),
+                    fmt_double(k.mbps(), 1)});
+  ktable.finish();
+
+  bench::JsonObject jkernels;
+  for (const auto& k : kernels) {
+    bench::JsonObject jk;
+    jk.set("seconds", k.seconds);
+    jk.set("mbps", k.mbps());
+    jkernels.set(k.name, jk);
+  }
+  bench::JsonObject doc;
+  doc.set("schema", std::uint64_t{1});
+  doc.set("bench", std::string("transport_scaling"));
+  doc.set("reps", static_cast<std::uint64_t>(reps));
+  doc.set("dataset", dataset);
+  doc.set("codec", codec);
+  doc.set("accept_speedup", accept_speedup);
+  doc.set("cells", json_cells);
+  doc.set("kernels", jkernels);
+  if (!json_path.empty()) {
+    if (!bench::write_json_file(json_path, doc)) {
+      std::fprintf(stderr, "FATAL: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!parity_ok)
+    std::printf("\nBIT-PARITY FAILURE: a transported container did not match "
+                "its blocking twin.\n");
+  std::printf(
+      "\nReading: the speedup is the per-stripe RPC budget the transport\n"
+      "hides under concurrent channel transfers. With one channel every\n"
+      "sector RPC serializes against the link — small sectors pay *more*\n"
+      "RPCs than the blocking path's per-slab appends and dip below 1x —\n"
+      "while two or more channels overlap each sector's RPC with the\n"
+      "previous sector's transfer and the speedup jumps. Ring depth is\n"
+      "credits per channel: at depth 1 a single channel runs lockstep\n"
+      "(stall column ~ sector count), and deeper rings mostly convert\n"
+      "stalls into in-flight occupancy. Contention prices both paths on\n"
+      "the same wire, so the clients column stretches makespans without\n"
+      "moving the ratio.\n");
+  return !parity_ok ? 1 : summary.exit_code();
+}

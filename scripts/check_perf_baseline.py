@@ -13,7 +13,9 @@ Paired gating kernels normalize against an in-binary reference of the same
 code path: huffman_decode against huffman_decode_reference and
 huffman_decode_lowent against huffman_decode_reference_lowent
 (bench_micro_codecs), zone_decode (parallel full-field zone decode)
-against zone_decode_serial (bench_zone_scaling). Both halves of a pair run
+against zone_decode_serial (bench_zone_scaling), and streamed_write
+(sector-ring transport write) against streamed_write_serial (the blocking
+append path, bench_transport_scaling). Both halves of a pair run
 the identical payload in the same process seconds apart, which cancels
 machine and noisy-neighbour variance far better than a bandwidth row can.
 Because a pair shares its substrate (a regression there would slow both
@@ -23,14 +25,23 @@ normalize against `memcpy` for the informational report.
 
 Only kernels listed via --kernel (default: huffman_decode) gate the build;
 everything else is reported for the artifact log. To refresh a baseline
-after an intentional perf change:
+after an intentional perf change, either re-emit straight from the bench:
 
     ./build/bench_micro_codecs --reps=7 --json=bench/baselines/BENCH_codecs.json
     ./build/bench_zone_scaling --reps=7 --json=bench/baselines/BENCH_zones.json
+    ./build/bench_transport_scaling --reps=7 \
+        --json=bench/baselines/BENCH_transport.json
+
+or promote a fresh run you already inspected with --update, which copies
+--current over --baseline verbatim and skips gating:
+
+    scripts/check_perf_baseline.py --current BENCH_transport.json \
+        --baseline bench/baselines/BENCH_transport.json --update
 """
 
 import argparse
 import json
+import shutil
 import sys
 
 
@@ -53,9 +64,18 @@ def main() -> int:
                          "huffman_decode_lowent, sz2_roundtrip, lz_compress")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed normalized-throughput drop (default 0.25)")
+    ap.add_argument("--update", action="store_true",
+                    help="promote --current to --baseline and skip gating")
     args = ap.parse_args()
     gates = args.kernel or ["huffman_decode", "huffman_decode_lowent",
                             "sz2_roundtrip", "lz_compress"]
+
+    if args.update:
+        with open(args.current) as f:
+            json.load(f)  # refuse to promote malformed output
+        shutil.copyfile(args.current, args.baseline)
+        print(f"baseline updated: {args.current} -> {args.baseline}")
+        return 0
 
     with open(args.baseline) as f:
         base = json.load(f)["kernels"]
@@ -66,6 +86,7 @@ def main() -> int:
         "huffman_decode": "huffman_decode_reference",
         "huffman_decode_lowent": "huffman_decode_reference_lowent",
         "zone_decode": "zone_decode_serial",
+        "streamed_write": "streamed_write_serial",
     }
 
     # A gated kernel absent from either file is a hard failure, not a

@@ -146,36 +146,65 @@ class LinearQuantizer {
       return;
     }
     const double rad_guard = static_cast<double>(radius_) - 1;
+    // Chunked two-pass formulation. The fused single loop mixes double
+    // arithmetic with T/u32 narrowing stores in one body, which GCC 12
+    // refuses to vectorize as a whole; splitting it at the type boundary
+    // leaves pass A all-double (quantize + round + tie detect into stack
+    // buffers) and pass B all-narrowing (T cast, bound check, code/recon
+    // stores), and each pass vectorizes on its own. The chunk keeps the
+    // buffers in L1. Every element goes through the same operations in
+    // the same order as the fused loop did, so the pass split cannot
+    // change a single emitted bit.
+    constexpr std::int32_t kChunk = 128;
+    double xb[kChunk];     // widened inputs
+    double predb[kChunk];  // regression predictions
+    double qdb[kChunk];    // rounded quotients (0.0 when out of range)
+    double inrb[kChunk];   // in-range flag as 1.0/0.0
+    double tieb[kChunk];   // half-tie flag as 1.0/0.0
     // int32 induction: signed int->double is the one conversion SSE2
     // vectorizes (u64->double lowers to a branchy sequence that blocks
     // the vectorizer). Rows are dimension extents, far below 2^31.
     const auto ni = static_cast<std::int32_t>(n);
     std::int32_t any_tie = 0;
-    for (std::int32_t k = 0; k < ni; ++k) {
-      const double x = static_cast<double>(data[k]);
-      const double pred = row0 + slope * static_cast<double>(k);
-      const double qf = (x - pred) * inv_eb2_;
-      // The select to 0.0 keeps the int conversion below defined even for
-      // wildly out-of-range qf (scalar quantize() never reaches it); the
-      // bitwise & (not &&) keeps the body branch-free for the vectorizer.
-      const bool in_range = std::fabs(qf) < rad_guard;
-      const double qc = in_range ? qf : 0.0;
-      // round_half_away inlined with its snap distance exposed, so the
-      // half-tie detector shares the add/sub with the rounding itself.
-      const double y = (qc + kRoundMagic) - kRoundMagic;
-      const double dd = qc - y;
-      const double up = (dd == 0.5) & (qc > 0.0) ? 1.0 : 0.0;
-      const double dn = (dd == -0.5) & (qc < 0.0) ? 1.0 : 0.0;
-      const double qd = (y + up) - dn;
-      any_tie |= static_cast<std::int32_t>(near_half_tie(qc, dd));
-      const T cast = static_cast<T>(pred + qd * eb2_);
-      const bool ok =
-          in_range & (std::fabs(static_cast<double>(cast) - x) <= eb_);
-      codes[k] = ok ? static_cast<std::uint32_t>(
-                          static_cast<std::int32_t>(qd) +
-                          static_cast<std::int32_t>(radius_))
-                    : 0u;
-      recon[k] = ok ? cast : data[k];
+    for (std::int32_t base = 0; base < ni; base += kChunk) {
+      const std::int32_t len = std::min(kChunk, ni - base);
+      // Pass A: pure double. The select to 0.0 keeps pass B's int
+      // conversion defined even for wildly out-of-range qf (scalar
+      // quantize() never reaches it); the bitwise & (not &&) keeps the
+      // body branch-free for the vectorizer. round_half_away is inlined
+      // with its snap distance exposed, so the half-tie detector shares
+      // the add/sub with the rounding itself.
+      for (std::int32_t k = 0; k < len; ++k) {
+        const double x = static_cast<double>(data[base + k]);
+        const double pred = row0 + slope * static_cast<double>(base + k);
+        const double qf = (x - pred) * inv_eb2_;
+        const bool in_range = std::fabs(qf) < rad_guard;
+        const double qc = in_range ? qf : 0.0;
+        const double y = (qc + kRoundMagic) - kRoundMagic;
+        const double dd = qc - y;
+        const double up = (dd == 0.5) & (qc > 0.0) ? 1.0 : 0.0;
+        const double dn = (dd == -0.5) & (qc < 0.0) ? 1.0 : 0.0;
+        xb[k] = x;
+        predb[k] = pred;
+        qdb[k] = (y + up) - dn;
+        inrb[k] = in_range ? 1.0 : 0.0;
+        tieb[k] = near_half_tie(qc, dd) ? 1.0 : 0.0;
+      }
+      // Pass B: narrowing. T cast, original-domain bound check, and the
+      // u32/T stores — the same expressions the fused body evaluated on
+      // the same pass-A values.
+      for (std::int32_t k = 0; k < len; ++k) {
+        const T cast = static_cast<T>(predb[k] + qdb[k] * eb2_);
+        const bool ok =
+            (inrb[k] != 0.0) &
+            (std::fabs(static_cast<double>(cast) - xb[k]) <= eb_);
+        codes[base + k] = ok ? static_cast<std::uint32_t>(
+                                   static_cast<std::int32_t>(qdb[k]) +
+                                   static_cast<std::int32_t>(radius_))
+                             : 0u;
+        recon[base + k] = ok ? cast : data[base + k];
+        any_tie |= static_cast<std::int32_t>(tieb[k] != 0.0);
+      }
     }
     // A row that grazed a half-integer tie re-runs through the scalar
     // path, whose round_quotient_half_away settles the tie with an exact

@@ -114,12 +114,38 @@ struct ChannelCloser {
 };
 
 // The live client count the streamed pipelines feed the PFS contention
-// model: every registered writer and reader fleet across overlapping
-// worlds, never less than this client itself. A lone pipeline sees exactly
-// 1 (its own scope), so single-stream pricing is unchanged; overlapping
-// streams contend honestly.
-int contended_clients(const PfsSimulator& pfs) {
-  return std::max(1, pfs.concurrent_writers() + pfs.concurrent_readers());
+// model for *blocking* transfers: every registered writer and reader fleet
+// across overlapping worlds, plus this client itself. Streams register
+// with the PFS only while their data is in flight (see
+// AppendStream::engage), so at call time the caller's own stream is not
+// yet counted — the +1 adds it, exactly reproducing what the old
+// whole-function WriterScope/ReaderScope registration fed the model. A
+// lone pipeline sees 1; overlapping streams contend honestly. (Transport
+// endpoints price their sectors themselves, while engaged, without the
+// +1.)
+int self_inclusive_clients(const PfsSimulator& pfs) {
+  return std::max(1,
+                  pfs.concurrent_writers() + pfs.concurrent_readers() + 1);
+}
+
+// One handle of a transported prefetch: slab ordinal + transport message.
+struct PrefetchedSlab {
+  std::size_t index = 0;
+  std::size_t handle = 0;
+};
+
+void fill_telemetry(TransportTelemetry& t, const TransportConfig& config,
+                    std::size_t sectors, std::size_t credit_stalls,
+                    double credit_stall_s, double mean_inflight,
+                    int peak_inflight) {
+  t.channels = config.channels;
+  t.ring_depth = config.ring_depth;
+  t.sector_bytes = config.sector_bytes;
+  t.sectors = sectors;
+  t.credit_stalls = credit_stalls;
+  t.credit_stall_s = credit_stall_s;
+  t.mean_inflight = mean_inflight;
+  t.peak_inflight = peak_inflight;
 }
 
 // Checks a decoded zone field against the container's zone index entry
@@ -178,7 +204,6 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   rec.slab_write_s.resize(nslabs);
 
   PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
-  PfsSimulator::WriterScope writer_scope(pfs);
   BoundedChannel<ProducedSlab> channel(
       static_cast<std::size_t>(stream.queue_depth));
 
@@ -227,21 +252,40 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   meta.attributes["content"] = "eblc-compressed";
   meta.attributes["codec"] = rec.codec;
   auto out = tool.open_zoned(pfs, rec.path, meta);
+  if (stream.use_transport) out.enable_transport(stream.transport);
   auto [open_s, open_j] =
       charge_io("stream-write-prep", "stream-write-open", out.open_cost());
   double write_j = open_j;
+  // Per-slab container prep (compute) and payload size, kept for the
+  // transport timeline solver and the blocking-path reconstruction.
+  std::vector<double> stage_prep_s(nslabs, 0.0);
+  std::vector<std::size_t> chunk_bytes(nslabs, 0);
   while (auto produced = channel.pop()) {
+    chunk_bytes[produced->index] = produced->blob.size();
     const IoCost w = out.append_zone(produced->blob, zones[produced->index],
-                                     contended_clients(pfs));
-    const auto [seconds, joules] =
-        charge_io("stream-write-prep", "stream-write", w);
-    rec.slab_write_s[produced->index] = seconds;
-    write_j += joules;
+                                     self_inclusive_clients(pfs));
+    if (stream.use_transport) {
+      // Transport mode: the append only *staged* sectors (transfer is 0);
+      // the wire cost lands in transport()->records() and is charged after
+      // the drain, when every sector's contended price is known.
+      const auto prep =
+          monitor.record_compute("stream-write-prep", w.prep_seconds, 1);
+      stage_prep_s[produced->index] = prep.seconds;
+      rec.slab_write_s[produced->index] = prep.seconds;
+      write_j += prep.joules;
+    } else {
+      const auto [seconds, joules] =
+          charge_io("stream-write-prep", "stream-write", w);
+      rec.slab_write_s[produced->index] = seconds;
+      write_j += joules;
+    }
     // The blob has landed in the container; recycle its allocation for the
     // next slab's compress/staging buffers.
     BufferPool::global().release(std::move(produced->blob));
   }
-  const IoCost close_cost = out.close(contended_clients(pfs));
+  // close() drains the transport rings first, so every sector has retired
+  // (and priced itself) before the footer commits.
+  const IoCost close_cost = out.close(self_inclusive_clients(pfs));
   const auto [close_s, close_j] =
       charge_io("stream-write-prep", "stream-write-close", close_cost);
   write_j += close_j;
@@ -250,32 +294,88 @@ StreamWriteRecord run_streamed_compress_write(const Field& field,
   rec.host_wall_s = wall.elapsed_s();
   rec.compressed_bytes = pfs.file_size(rec.path);
   rec.compress_j = compress_j;
-  rec.write_j = write_j;
 
-  // Pipeline recurrence: the producer finishes slab i after finishing
-  // slab i-1 and after a channel slot frees. A slot frees when the writer
-  // *pops* slab i-1-depth — i.e. when it finishes the write before it
-  // (effective buffering is queue_depth + the slab in the writer's
-  // hands). The writer starts slab i when both it and the slab are ready;
-  // the chunk-index commit caps the schedule after the last chunk.
   const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
-  std::vector<double> fc(nslabs, 0.0), fw(nslabs, 0.0);
-  double serial_compress = 0.0, serial_write = 0.0;
-  for (std::size_t i = 0; i < nslabs; ++i) {
-    double start = i > 0 ? fc[i - 1] : 0.0;
-    if (i >= depth + 2) start = std::max(start, fw[i - 2 - depth]);
-    else if (i == depth + 1) start = std::max(start, open_s);
-    fc[i] = start + rec.slab_compress_s[i];
-    const double writer_free = i > 0 ? fw[i - 1] : open_s;
-    fw[i] = std::max(fc[i], writer_free) + rec.slab_write_s[i];
+  double serial_compress = 0.0;
+  for (std::size_t i = 0; i < nslabs; ++i)
     serial_compress += rec.slab_compress_s[i];
-    serial_write += rec.slab_write_s[i];
+
+  // Runs the PR-8 blocking pipeline recurrence — the producer finishes
+  // slab i after slab i-1 and after a channel slot frees (the writer
+  // popped slab i-1-depth); the writer starts slab i when both it and the
+  // slab are ready — over the given per-slab write costs, returning the
+  // last write's finish time.
+  const auto blocking_recurrence = [&](const std::vector<double>& write_s) {
+    std::vector<double> fc(nslabs, 0.0), fw(nslabs, 0.0);
+    for (std::size_t i = 0; i < nslabs; ++i) {
+      double start = i > 0 ? fc[i - 1] : 0.0;
+      if (i >= depth + 2) start = std::max(start, fw[i - 2 - depth]);
+      else if (i == depth + 1) start = std::max(start, open_s);
+      fc[i] = start + rec.slab_compress_s[i];
+      const double writer_free = i > 0 ? fw[i - 1] : open_s;
+      fw[i] = std::max(fc[i], writer_free) + write_s[i];
+    }
+    return fw[nslabs - 1];
+  };
+
+  if (stream.use_transport) {
+    SectorWriter& transport = *out.transport();
+    const auto& sectors = transport.records();
+    // Charge the wire once, now that every sector has its contended price;
+    // fold each message's wire seconds into its slab_write_s column.
+    double wire_total = 0.0;
+    std::vector<double> slab_wire_s(nslabs, 0.0), slab_xfer_s(nslabs, 0.0);
+    for (const SectorRecord& s : sectors) {
+      wire_total += s.rpc_s + s.xfer_s;
+      slab_wire_s[s.message] += s.rpc_s + s.xfer_s;
+      slab_xfer_s[s.message] += s.xfer_s;
+    }
+    const auto wire = monitor.record_io("stream-write", wire_total);
+    write_j += wire.joules;
+    for (std::size_t i = 0; i < nslabs; ++i)
+      rec.slab_write_s[i] += slab_wire_s[i];
+
+    const WriteTimeline timeline =
+        solve_write_timeline(stream.transport, sectors, rec.slab_compress_s,
+                             stage_prep_s, depth, open_s);
+    rec.streamed_total_s = timeline.makespan_s + close_s;
+    fill_telemetry(rec.transport, stream.transport, sectors.size(),
+                   transport.stats().credit_stalls, timeline.credit_stall_s,
+                   timeline.mean_inflight, timeline.peak_inflight);
+
+    // Blocking-path reconstruction: what the identical chunk sequence
+    // would have cost through PR-8's one-append-per-chunk path — the same
+    // prep and transfer bytes, but per-chunk stripe RPCs and no overlap
+    // between staging and the wire.
+    const PfsConfig& pc = pfs.config();
+    std::vector<double> blocking_write_s(nslabs, 0.0);
+    std::size_t offset = out.open_cost().bytes_written;
+    double serial_write = 0.0;
+    for (std::size_t i = 0; i < nslabs; ++i) {
+      const std::size_t len = chunk_bytes[i];
+      const std::size_t stripes =
+          len ? (offset + len - 1) / pc.stripe_size - offset / pc.stripe_size +
+                    1
+              : (offset % pc.stripe_size != 0 ? 1 : 0);
+      blocking_write_s[i] = stage_prep_s[i] +
+                            static_cast<double>(stripes) * pc.rpc_latency_s +
+                            slab_xfer_s[i];
+      offset += len;
+      serial_write += blocking_write_s[i];
+    }
+    rec.blocking_total_s = blocking_recurrence(blocking_write_s) + close_s;
+    rec.serial_total_s = serial_compress + open_s + serial_write + close_s;
+  } else {
+    double serial_write = 0.0;
+    for (std::size_t i = 0; i < nslabs; ++i)
+      serial_write += rec.slab_write_s[i];
+    rec.streamed_total_s = blocking_recurrence(rec.slab_write_s) + close_s;
+    rec.blocking_total_s = rec.streamed_total_s;
+    // Serial reference: the identical container writes, scheduled after all
+    // compression instead of overlapped with it.
+    rec.serial_total_s = serial_compress + open_s + serial_write + close_s;
   }
-  rec.streamed_total_s = fw[nslabs - 1] + close_s;
-  // Serial reference: the identical container writes, scheduled after all
-  // compression instead of overlapped with it.
-  rec.serial_total_s =
-      serial_compress + open_s + serial_write + close_s;
+  rec.write_j = write_j;
   return rec;
 }
 
@@ -293,11 +393,12 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
   rec.container_bytes = pfs.file_size(path);
 
   PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
-  PfsSimulator::ReaderScope reader_scope(pfs);
 
   // Open the container: the footer chunk index and dataset metadata arrive
   // through ranged reads before the pipeline starts (open paid once).
-  auto reader = tool.open_chunked_reader(pfs, path, contended_clients(pfs));
+  auto reader =
+      tool.open_chunked_reader(pfs, path, self_inclusive_clients(pfs));
+  if (stream.use_transport) reader.enable_transport(stream.transport);
   const std::size_t nslabs = reader.index().chunks.size();
   EBLCIO_CHECK_STREAM(nslabs >= 1, "chunked container holds no slabs");
   rec.slabs = static_cast<int>(nslabs);
@@ -311,34 +412,73 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
   const double open_s = open_prep.seconds + open_io.seconds;
   double fetch_j = open_prep.joules + open_io.joules;
 
-  BoundedChannel<ProducedSlab> channel(
-      static_cast<std::size_t>(stream.queue_depth));
   WallTimer wall;
-
-  // Producer: fetches chunk i with ranged PFS reads as one executor task
-  // while the consumer decompresses chunk i-1; blocks on the channel when
-  // queue_depth fetched slabs await the decompressor.
+  std::vector<Field> slab_fields(nslabs);
+  // Per-slab consumer-side compute (fetch prep + decompress), the transport
+  // timeline solver's consume column.
+  std::vector<double> consume_s(nslabs, 0.0);
+  double decompress_j = 0.0;
   TaskGroup producer;
-  producer.run([&] {
-    ChannelCloser<ProducedSlab> closer{&channel};
-    for (std::size_t i = 0; i < nslabs; ++i) {
+
+  if (stream.use_transport) {
+    // Producer: stages each chunk's sector fetches through the transport
+    // (blocking only on channel credits) and hands the message handle
+    // over; the drainer ships sectors while this thread decompresses.
+    BoundedChannel<PrefetchedSlab> handles(
+        static_cast<std::size_t>(stream.queue_depth));
+    producer.run([&] {
+      ChannelCloser<PrefetchedSlab> closer{&handles};
+      for (std::size_t i = 0; i < nslabs; ++i)
+        handles.push({i, reader.prefetch_chunk(i)});
+    });
+
+    // Consumer (this thread): awaits each assembled chunk, charges its
+    // fetch, and decompresses it. A corrupt slab throws here; the closer
+    // unblocks the producer and no partial field escapes.
+    ChannelCloser<PrefetchedSlab> closer{&handles};
+    while (auto produced = handles.pop()) {
       IoCost cost;
-      Bytes blob = reader.read_chunk(i, &cost, contended_clients(pfs));
+      Bytes blob = reader.await_chunk(produced->handle, produced->index, &cost);
       const auto prep =
           monitor.record_compute("stream-fetch-prep", cost.prep_seconds, 1);
       const auto io = monitor.record_io("stream-fetch", cost.transfer_seconds);
-      rec.slab_fetch_s[i] = prep.seconds + io.seconds;
+      rec.slab_fetch_s[produced->index] = prep.seconds + io.seconds;
       fetch_j += prep.joules + io.joules;
-      channel.push({i, std::move(blob)});
+      WallTimer t;
+      Field slab = decompress_any(blob, 1);
+      const auto reading =
+          monitor.record_compute("stream-decompress", t.elapsed_s(), 1);
+      rec.slab_decompress_s[produced->index] = reading.seconds;
+      consume_s[produced->index] = prep.seconds + reading.seconds;
+      decompress_j += reading.joules;
+      BufferPool::global().release(std::move(blob));
+      slab_fields[produced->index] = std::move(slab);
     }
-  });
+    producer.wait();
+  } else {
+    // Producer: fetches chunk i with blocking ranged PFS reads as one
+    // executor task while the consumer decompresses chunk i-1; blocks on
+    // the channel when queue_depth fetched slabs await the decompressor.
+    BoundedChannel<ProducedSlab> channel(
+        static_cast<std::size_t>(stream.queue_depth));
+    producer.run([&] {
+      ChannelCloser<ProducedSlab> closer{&channel};
+      for (std::size_t i = 0; i < nslabs; ++i) {
+        IoCost cost;
+        Bytes blob = reader.read_chunk(i, &cost, self_inclusive_clients(pfs));
+        const auto prep =
+            monitor.record_compute("stream-fetch-prep", cost.prep_seconds, 1);
+        const auto io =
+            monitor.record_io("stream-fetch", cost.transfer_seconds);
+        rec.slab_fetch_s[i] = prep.seconds + io.seconds;
+        fetch_j += prep.joules + io.joules;
+        channel.push({i, std::move(blob)});
+      }
+    });
 
-  // Consumer (this thread): decompresses slabs as they arrive. A corrupt
-  // slab throws here; the closer unblocks the producer and no partial
-  // field escapes (the exception propagates out of this function).
-  std::vector<Field> slab_fields(nslabs);
-  double decompress_j = 0.0;
-  {
+    // Consumer (this thread): decompresses slabs as they arrive. A corrupt
+    // slab throws here; the closer unblocks the producer and no partial
+    // field escapes (the exception propagates out of this function).
     ChannelCloser<ProducedSlab> closer{&channel};
     while (auto produced = channel.pop()) {
       WallTimer t;
@@ -351,8 +491,8 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
       BufferPool::global().release(std::move(produced->blob));
       slab_fields[produced->index] = std::move(slab);
     }
+    producer.wait();
   }
-  producer.wait();
 
   rec.host_wall_s = wall.elapsed_s();
   rec.fetch_j = fetch_j;
@@ -361,24 +501,39 @@ StreamReadRecord run_streamed_read(PfsSimulator& pfs, const std::string& path,
                           reader.index().meta.name);
   rec.field_bytes = rec.field.size_bytes();
 
-  // Mirror of the write recurrence with the roles swapped: the fetcher
-  // finishes slab i after slab i-1 and after a channel slot frees (the
-  // decompressor popped slab i-1-depth when it finished slab i-2-depth);
-  // the first fetch waits for the index fetch at open. The decompressor
-  // starts slab i when both it and the fetched slab are ready.
   const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
-  std::vector<double> ff(nslabs, 0.0), fd(nslabs, 0.0);
   double serial_fetch = 0.0, serial_decompress = 0.0;
   for (std::size_t i = 0; i < nslabs; ++i) {
-    double start = i > 0 ? ff[i - 1] : open_s;
-    if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
-    ff[i] = start + rec.slab_fetch_s[i];
-    const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
-    fd[i] = std::max(ff[i], decomp_free) + rec.slab_decompress_s[i];
     serial_fetch += rec.slab_fetch_s[i];
     serial_decompress += rec.slab_decompress_s[i];
   }
-  rec.streamed_total_s = fd[nslabs - 1];
+
+  if (stream.use_transport) {
+    SectorReader& transport = *reader.transport();
+    const ReadTimeline timeline =
+        solve_read_timeline(stream.transport, transport.records(), consume_s,
+                            depth, open_s);
+    rec.streamed_total_s = timeline.makespan_s;
+    fill_telemetry(rec.transport, stream.transport,
+                   transport.records().size(),
+                   transport.stats().credit_stalls, timeline.credit_stall_s,
+                   timeline.mean_inflight, timeline.peak_inflight);
+  } else {
+    // Mirror of the write recurrence with the roles swapped: the fetcher
+    // finishes slab i after slab i-1 and after a channel slot frees (the
+    // decompressor popped slab i-1-depth when it finished slab i-2-depth);
+    // the first fetch waits for the index fetch at open. The decompressor
+    // starts slab i when both it and the fetched slab are ready.
+    std::vector<double> ff(nslabs, 0.0), fd(nslabs, 0.0);
+    for (std::size_t i = 0; i < nslabs; ++i) {
+      double start = i > 0 ? ff[i - 1] : open_s;
+      if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
+      ff[i] = start + rec.slab_fetch_s[i];
+      const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
+      fd[i] = std::max(ff[i], decomp_free) + rec.slab_decompress_s[i];
+    }
+    rec.streamed_total_s = fd[nslabs - 1];
+  }
   // Serial reference: open, fetch everything, then decompress everything.
   rec.serial_total_s = open_s + serial_fetch + serial_decompress;
   return rec;
@@ -433,9 +588,10 @@ RegionReadRecord run_streamed_read_region(PfsSimulator& pfs,
   rec.container_bytes = pfs.file_size(path);
 
   PowercapMonitor monitor(cpu);  // thread-safe: both stages record into it
-  PfsSimulator::ReaderScope reader_scope(pfs);
 
-  auto reader = tool.open_chunked_reader(pfs, path, contended_clients(pfs));
+  auto reader =
+      tool.open_chunked_reader(pfs, path, self_inclusive_clients(pfs));
+  if (stream.use_transport) reader.enable_transport(stream.transport);
   const ChunkIndex& index = reader.index();
   EBLCIO_CHECK_STREAM(index.zoned(),
                       "container has no zone index (written before zoning, "
@@ -458,60 +614,96 @@ RegionReadRecord run_streamed_read_region(PfsSimulator& pfs,
   const double open_s = open_prep.seconds + open_io.seconds;
   double fetch_j = open_prep.joules + open_io.joules;
 
-  BoundedChannel<ProducedSlab> channel(
-      static_cast<std::size_t>(stream.queue_depth));
   WallTimer wall;
-
-  // Producer: issues one ranged fetch per covering zone (in covering
-  // order) while the consumer decodes the previous zone.
-  TaskGroup producer;
+  Field out;
+  bool out_ready = false;
+  std::vector<double> consume_s(nzones, 0.0);
   std::size_t bytes_fetched = 0;
-  producer.run([&] {
-    ChannelCloser<ProducedSlab> closer{&channel};
-    for (std::size_t i = 0; i < nzones; ++i) {
+  double decompress_j = 0.0;
+  TaskGroup producer;
+
+  // Consumer step shared by both paths: decodes one covering zone,
+  // validates it against the index, and scatters its intersection with the
+  // region into the output. Returns the dilated decode seconds. A corrupt
+  // zone throws here; no partial field escapes.
+  const auto consume_zone = [&](std::size_t i, const Bytes& blob) {
+    const std::size_t zi = covering[i];
+    WallTimer t;
+    Field zone = decompress_any(blob, 1);
+    check_zone_field(zone, index, zi, path);
+    if (!out_ready) {
+      out = make_region_field(index.meta.name, region, zone.dtype());
+      out_ready = true;
+    }
+    EBLCIO_CHECK_STREAM(zone.dtype() == out.dtype(),
+                        "zone blobs disagree on dtype: " + path);
+    scatter_zone_into_region(
+        zone, static_cast<std::size_t>(index.zones[zi].row_start), region,
+        out);
+    const auto reading =
+        monitor.record_compute("region-decompress", t.elapsed_s(), 1);
+    rec.zone_decompress_s[i] = reading.seconds;
+    decompress_j += reading.joules;
+    return reading.seconds;
+  };
+
+  if (stream.use_transport) {
+    // Producer: stages each covering zone's sector fetches (in covering
+    // order) while the consumer decodes the previous zone.
+    BoundedChannel<PrefetchedSlab> handles(
+        static_cast<std::size_t>(stream.queue_depth));
+    producer.run([&] {
+      ChannelCloser<PrefetchedSlab> closer{&handles};
+      for (std::size_t i = 0; i < nzones; ++i)
+        handles.push({i, reader.prefetch_chunk(covering[i])});
+    });
+
+    ChannelCloser<PrefetchedSlab> closer{&handles};
+    while (auto produced = handles.pop()) {
       IoCost cost;
       Bytes blob =
-          reader.read_chunk(covering[i], &cost, contended_clients(pfs));
+          reader.await_chunk(produced->handle, covering[produced->index],
+                             &cost);
       const auto prep =
           monitor.record_compute("region-fetch-prep", cost.prep_seconds, 1);
       const auto io = monitor.record_io("region-fetch", cost.transfer_seconds);
-      rec.zone_fetch_s[i] = prep.seconds + io.seconds;
+      rec.zone_fetch_s[produced->index] = prep.seconds + io.seconds;
       fetch_j += prep.joules + io.joules;
       bytes_fetched += blob.size();
-      channel.push({i, std::move(blob)});
+      consume_s[produced->index] =
+          prep.seconds + consume_zone(produced->index, blob);
+      BufferPool::global().release(std::move(blob));
     }
-  });
+    producer.wait();
+  } else {
+    // Producer: issues one blocking ranged fetch per covering zone (in
+    // covering order) while the consumer decodes the previous zone.
+    BoundedChannel<ProducedSlab> channel(
+        static_cast<std::size_t>(stream.queue_depth));
+    producer.run([&] {
+      ChannelCloser<ProducedSlab> closer{&channel};
+      for (std::size_t i = 0; i < nzones; ++i) {
+        IoCost cost;
+        Bytes blob = reader.read_chunk(covering[i], &cost,
+                                       self_inclusive_clients(pfs));
+        const auto prep =
+            monitor.record_compute("region-fetch-prep", cost.prep_seconds, 1);
+        const auto io =
+            monitor.record_io("region-fetch", cost.transfer_seconds);
+        rec.zone_fetch_s[i] = prep.seconds + io.seconds;
+        fetch_j += prep.joules + io.joules;
+        bytes_fetched += blob.size();
+        channel.push({i, std::move(blob)});
+      }
+    });
 
-  // Consumer (this thread): decodes each covering zone, validates it
-  // against the index, and scatters its intersection with the region into
-  // the output. A corrupt zone throws here; no partial field escapes.
-  Field out;
-  bool out_ready = false;
-  double decompress_j = 0.0;
-  {
     ChannelCloser<ProducedSlab> closer{&channel};
     while (auto produced = channel.pop()) {
-      const std::size_t zi = covering[produced->index];
-      WallTimer t;
-      Field zone = decompress_any(produced->blob, 1);
-      check_zone_field(zone, index, zi, path);
-      if (!out_ready) {
-        out = make_region_field(index.meta.name, region, zone.dtype());
-        out_ready = true;
-      }
-      EBLCIO_CHECK_STREAM(zone.dtype() == out.dtype(),
-                          "zone blobs disagree on dtype: " + path);
-      scatter_zone_into_region(
-          zone, static_cast<std::size_t>(index.zones[zi].row_start), region,
-          out);
-      const auto reading =
-          monitor.record_compute("region-decompress", t.elapsed_s(), 1);
-      rec.zone_decompress_s[produced->index] = reading.seconds;
-      decompress_j += reading.joules;
+      consume_zone(produced->index, produced->blob);
       BufferPool::global().release(std::move(produced->blob));
     }
+    producer.wait();
   }
-  producer.wait();
 
   rec.host_wall_s = wall.elapsed_s();
   rec.fetch_j = fetch_j;
@@ -520,20 +712,36 @@ RegionReadRecord run_streamed_read_region(PfsSimulator& pfs,
   rec.field = std::move(out);
   rec.field_bytes = rec.field.size_bytes();
 
-  // Same recurrence as the full read pipeline, over the covering set only.
   const std::size_t depth = static_cast<std::size_t>(stream.queue_depth);
-  std::vector<double> ff(nzones, 0.0), fd(nzones, 0.0);
   double serial_fetch = 0.0, serial_decompress = 0.0;
   for (std::size_t i = 0; i < nzones; ++i) {
-    double start = i > 0 ? ff[i - 1] : open_s;
-    if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
-    ff[i] = start + rec.zone_fetch_s[i];
-    const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
-    fd[i] = std::max(ff[i], decomp_free) + rec.zone_decompress_s[i];
     serial_fetch += rec.zone_fetch_s[i];
     serial_decompress += rec.zone_decompress_s[i];
   }
-  rec.streamed_total_s = fd[nzones - 1];
+
+  if (stream.use_transport) {
+    SectorReader& transport = *reader.transport();
+    const ReadTimeline timeline =
+        solve_read_timeline(stream.transport, transport.records(), consume_s,
+                            depth, open_s);
+    rec.streamed_total_s = timeline.makespan_s;
+    fill_telemetry(rec.transport, stream.transport,
+                   transport.records().size(),
+                   transport.stats().credit_stalls, timeline.credit_stall_s,
+                   timeline.mean_inflight, timeline.peak_inflight);
+  } else {
+    // Same recurrence as the full read pipeline, over the covering set
+    // only.
+    std::vector<double> ff(nzones, 0.0), fd(nzones, 0.0);
+    for (std::size_t i = 0; i < nzones; ++i) {
+      double start = i > 0 ? ff[i - 1] : open_s;
+      if (i >= depth + 2) start = std::max(start, fd[i - 2 - depth]);
+      ff[i] = start + rec.zone_fetch_s[i];
+      const double decomp_free = i > 0 ? fd[i - 1] : 0.0;
+      fd[i] = std::max(ff[i], decomp_free) + rec.zone_decompress_s[i];
+    }
+    rec.streamed_total_s = fd[nzones - 1];
+  }
   rec.serial_total_s = open_s + serial_fetch + serial_decompress;
   return rec;
 }

@@ -16,6 +16,7 @@
 #include "core/tradeoff.h"
 #include "energy/powercap_monitor.h"
 #include "io/pfs.h"
+#include "io/transport.h"
 #include "metrics/error_stats.h"
 
 namespace eblcio {
@@ -90,6 +91,27 @@ WriteRecord run_compress_write(const Field& field,
 struct StreamConfig {
   int slabs = 8;        // pipeline depth: slabs split along dim 0
   int queue_depth = 2;  // slabs buffered in the channel before backpressure
+  // Sector-ring transport between the pipeline and the PFS (io/transport.h):
+  // chunks are staged into fixed-size pooled sectors and shipped by a
+  // doorbell task with ring_depth sectors in flight per channel, so slab
+  // compression, sector staging, and wire transfer all overlap. false
+  // reverts to the blocking per-chunk append/fetch path (the container
+  // bytes are identical either way).
+  bool use_transport = true;
+  TransportConfig transport;
+};
+
+// Transport columns shared by the streamed write/read/region records; all
+// zero when the blocking path ran.
+struct TransportTelemetry {
+  int channels = 0;
+  int ring_depth = 0;
+  std::size_t sector_bytes = 0;
+  std::size_t sectors = 0;         // sector transfers on the wire
+  std::size_t credit_stalls = 0;   // host waits for a free descriptor
+  double credit_stall_s = 0.0;     // modeled staging time lost to credits
+  double mean_inflight = 0.0;      // time-averaged sectors in flight
+  int peak_inflight = 0;           // max sectors simultaneously in flight
 };
 
 struct StreamWriteRecord {
@@ -110,12 +132,20 @@ struct StreamWriteRecord {
   // Host wall clock of the real concurrent run (compress tasks genuinely
   // overlap the writer thread on the executor).
   double host_wall_s = 0.0;
+  // What the same run would have cost through the PR-8 blocking per-chunk
+  // append path (reconstructed from the identical compress samples and
+  // per-chunk stripe pricing; equals streamed_total_s when the blocking
+  // path actually ran). The transport's speedup is
+  // blocking_total_s / streamed_total_s.
+  double blocking_total_s = 0.0;
   // Energy recorded through one shared thread-safe monitor.
   double compress_j = 0.0;
   double write_j = 0.0;
   // Per-slab platform times feeding the recurrence (compress, write).
   std::vector<double> slab_compress_s;
   std::vector<double> slab_write_s;
+  // Sector-ring transport telemetry (zeros when use_transport was false).
+  TransportTelemetry transport;
 
   double ratio() const {
     return compressed_bytes
@@ -166,6 +196,8 @@ struct StreamReadRecord {
   // Per-slab platform times feeding the recurrence (fetch, decompress).
   std::vector<double> slab_fetch_s;
   std::vector<double> slab_decompress_s;
+  // Sector-ring transport telemetry (zeros when use_transport was false).
+  TransportTelemetry transport;
   // The reassembled field.
   Field field;
 
@@ -218,6 +250,8 @@ struct RegionReadRecord {
   // Per-covering-zone platform times feeding the recurrence.
   std::vector<double> zone_fetch_s;
   std::vector<double> zone_decompress_s;
+  // Sector-ring transport telemetry (zeros when use_transport was false).
+  TransportTelemetry transport;
   // The assembled region (shaped region.shape).
   Field field;
 

@@ -158,6 +158,14 @@ IoCost IoTool::ChunkWriter::append_zone(std::span<const std::byte> chunk,
   return cost;
 }
 
+void IoTool::ChunkWriter::enable_transport(const TransportConfig& config) {
+  EBLCIO_CHECK_ARG(!closed_, "enable_transport after close: " + path_);
+  EBLCIO_CHECK_ARG(transport_ == nullptr,
+                   "transport already enabled: " + path_);
+  staged_bytes_ = stream_.bytes_written();
+  transport_ = std::make_unique<SectorWriter>(stream_, config);
+}
+
 IoCost IoTool::ChunkWriter::append_raw(std::span<const std::byte> chunk,
                                        int concurrent_clients) {
   const ChunkProfile profile = tool_->chunk_profile();
@@ -167,6 +175,23 @@ IoCost IoTool::ChunkWriter::append_raw(std::span<const std::byte> chunk,
       profile.per_chunk_prep_s +
       static_cast<double>(chunk.size()) / profile.prep_bandwidth_bps;
   cost.bytes_written = chunk.size();
+
+  if (transport_) {
+    // Transported append: the chunk is staged into pooled sectors and
+    // shipped by the doorbell task; its wire cost lands per sector in the
+    // endpoint's records, priced at completion-time contention. The
+    // extent's offset comes from the staging cursor — the stream's
+    // bytes_written() lags while sectors are in flight. The staging
+    // memcpy into sector buffers is the tool's conversion-buffer copy, so
+    // staging_copy tools take no extra pass here.
+    ChunkExtent extent;
+    extent.offset = staged_bytes_;
+    extent.size = chunk.size();
+    transport_->stage(extents_.size(), chunk);
+    staged_bytes_ += chunk.size();
+    extents_.push_back(extent);
+    return cost;
+  }
 
   ChunkExtent extent;
   extent.offset = stream_.bytes_written();
@@ -191,6 +216,10 @@ IoCost IoTool::ChunkWriter::append_raw(std::span<const std::byte> chunk,
 
 IoCost IoTool::ChunkWriter::close(int concurrent_clients) {
   EBLCIO_CHECK_ARG(!closed_, "double close: " + path_);
+  // Every staged sector must land before the footer commits (and before
+  // footer_start reads the stream's byte count). A wire error surfaces
+  // here, before a broken container could be sealed.
+  if (transport_) transport_->drain();
   if (zoned_ && !meta_.dims.empty()) {
     const std::uint64_t covered =
         zones_.empty() ? 0 : zones_.back().row_start + zones_.back().rows;
@@ -338,6 +367,50 @@ Bytes IoTool::ChunkReader::read_chunk(std::size_t i, IoCost* cost_out,
     cost_out->bytes_written = 0;
   }
   return std::move(fetched.data);
+}
+
+void IoTool::ChunkReader::enable_transport(const TransportConfig& config) {
+  EBLCIO_CHECK_ARG(transport_ == nullptr,
+                   "transport already enabled: " + stream_.path());
+  transport_ = std::make_unique<SectorReader>(stream_, config);
+}
+
+std::size_t IoTool::ChunkReader::prefetch_chunk(std::size_t i) {
+  EBLCIO_CHECK_ARG(transport_ != nullptr,
+                   "prefetch_chunk without transport: " + stream_.path());
+  EBLCIO_CHECK_ARG(i < index_.chunks.size(),
+                   "chunk index out of range: " + stream_.path());
+  const ChunkExtent& e = index_.chunks[i];
+  return transport_->request(static_cast<std::size_t>(e.offset),
+                             static_cast<std::size_t>(e.size));
+}
+
+Bytes IoTool::ChunkReader::await_chunk(std::size_t handle, std::size_t i,
+                                       IoCost* cost_out) {
+  EBLCIO_CHECK_ARG(transport_ != nullptr,
+                   "await_chunk without transport: " + stream_.path());
+  EBLCIO_CHECK_ARG(i < index_.chunks.size(),
+                   "chunk index out of range: " + stream_.path());
+  const ChunkProfile profile = tool_->chunk_profile();
+  double wire_s = 0.0;
+  Bytes data = transport_->await(handle, &wire_s);
+  if (profile.staging_copy) {
+    // Same conversion-buffer mirror as read_chunk.
+    Bytes staged = BufferPool::global().acquire(data.size());
+    staged.resize(data.size());
+    std::memcpy(staged.data(), data.data(), data.size());
+    BufferPool::global().release(std::move(data));
+    data = std::move(staged);
+  }
+  if (cost_out) {
+    cost_out->prep_seconds =
+        profile.per_chunk_prep_s +
+        static_cast<double>(index_.chunks[i].size) /
+            profile.prep_bandwidth_bps;
+    cost_out->transfer_seconds = wire_s;
+    cost_out->bytes_written = 0;
+  }
+  return data;
 }
 
 std::vector<std::size_t> IoTool::ChunkReader::covering(

@@ -16,6 +16,7 @@
 #include "common/field.h"
 #include "common/region.h"
 #include "io/pfs.h"
+#include "io/transport.h"
 
 namespace eblcio {
 
@@ -116,6 +117,21 @@ class IoTool {
 
     IoCost close(int concurrent_clients = 1);
 
+    // Routes subsequent appends through a sector-ring transport endpoint
+    // (io/transport.h): each chunk is *staged* into pooled fixed-size
+    // sectors and the doorbell task ships them asynchronously, priced at
+    // the PFS's live contended client count — the returned IoCost carries
+    // only the prep share (transfer_seconds = 0); per-sector wire costs
+    // accumulate in transport()->records(). Sectors land in staging
+    // order, so the container bytes are identical to the blocking path.
+    // close() drains the rings before committing the footer. Call after
+    // the writer has reached its final location (the endpoint keeps a
+    // pointer to this writer's stream), at most once.
+    void enable_transport(const TransportConfig& config);
+    bool transport_enabled() const { return transport_ != nullptr; }
+    SectorWriter* transport() { return transport_.get(); }
+    const SectorWriter* transport() const { return transport_.get(); }
+
     const std::string& path() const { return path_; }
     std::size_t chunks_written() const { return extents_.size(); }
     // Payload bytes appended so far (container framing excluded).
@@ -144,6 +160,11 @@ class IoTool {
     IoCost open_cost_;
     bool closed_ = false;
     bool zoned_ = false;
+    // Container-offset cursor including staged-but-unretired sectors (the
+    // stream's bytes_written() lags while sectors are in flight).
+    std::size_t staged_bytes_ = 0;
+    // Declared last so it drains before the stream is destroyed.
+    std::unique_ptr<SectorWriter> transport_;
   };
 
   // Stateful chunked-dataset reader. Construction fetches and validates
@@ -160,6 +181,22 @@ class IoTool {
     // wrote. `cost_out`, when given, receives this fetch's prep/transfer.
     Bytes read_chunk(std::size_t i, IoCost* cost_out = nullptr,
                      int concurrent_clients = 1);
+
+    // Routes chunk fetches through a sector-ring transport endpoint:
+    // prefetch_chunk stages chunk i's ranged sector fetches (blocking only
+    // on channel credits) and returns a message handle; await_chunk blocks
+    // until the chunk assembles, applies the tool's staging copy, and
+    // reports the same prep pricing as read_chunk with the message's
+    // summed sector wire time as transfer. Call enable_transport after the
+    // reader reached its final location, at most once; one thread
+    // prefetches while another may await.
+    void enable_transport(const TransportConfig& config);
+    bool transport_enabled() const { return transport_ != nullptr; }
+    SectorReader* transport() { return transport_.get(); }
+    const SectorReader* transport() const { return transport_.get(); }
+    std::size_t prefetch_chunk(std::size_t i);
+    Bytes await_chunk(std::size_t handle, std::size_t i,
+                      IoCost* cost_out = nullptr);
 
     // Resolves a query box to the indices of the zones it intersects.
     // Requires a zoned (version-2) container and a region that fits the
@@ -189,6 +226,8 @@ class IoTool {
     PfsSimulator::ReadStream stream_;
     ChunkIndex index_;
     IoCost open_cost_;
+    // Declared last so outstanding fetches settle before the stream dies.
+    std::unique_ptr<SectorReader> transport_;
   };
 
   // Opens a fresh chunked container at `path` (truncating any previous

@@ -121,10 +121,27 @@ PfsSimulator::AppendStream PfsSimulator::open_append(const std::string& path) {
 
 PfsSimulator::WriteResult PfsSimulator::AppendStream::append(
     std::span<const std::byte> data, int concurrent_clients) {
+  // Count this stream as a live writer only for the transfer itself (a
+  // transport endpoint holding engage() across its burst stays counted).
+  const bool transient = !engaged_;
+  if (transient) engage();
   WriteResult r = pfs_->append_file(path_, data, concurrent_clients);
+  if (transient) disengage();
   bytes_ += r.bytes;
   seconds_ += r.seconds;
   return r;
+}
+
+void PfsSimulator::AppendStream::engage() {
+  if (engaged_ || pfs_ == nullptr) return;
+  engaged_ = true;
+  pfs_->register_writers(1);
+}
+
+void PfsSimulator::AppendStream::disengage() {
+  if (!engaged_ || pfs_ == nullptr) return;
+  engaged_ = false;
+  pfs_->unregister_writers(1);
 }
 
 double PfsSimulator::range_read_seconds(std::size_t bytes,
@@ -215,12 +232,27 @@ PfsSimulator::ReadStream PfsSimulator::open_read(
 
 PfsSimulator::RangeRead PfsSimulator::ReadStream::read(
     std::size_t offset, std::size_t length, int concurrent_clients) {
+  const bool transient = !engaged_;
+  if (transient) engage();
   RangeRead r =
       pfs_->read_range(path_, offset, length, concurrent_clients, !opened_);
+  if (transient) disengage();
   opened_ = true;
   bytes_ += r.cost.bytes;
   seconds_ += r.cost.seconds;
   return r;
+}
+
+void PfsSimulator::ReadStream::engage() {
+  if (engaged_ || pfs_ == nullptr) return;
+  engaged_ = true;
+  pfs_->register_readers(1);
+}
+
+void PfsSimulator::ReadStream::disengage() {
+  if (!engaged_ || pfs_ == nullptr) return;
+  engaged_ = false;
+  pfs_->unregister_readers(1);
 }
 
 Bytes PfsSimulator::read_file(const std::string& path) const {
@@ -273,26 +305,38 @@ std::vector<std::size_t> PfsSimulator::ost_usage() const {
   return usage;
 }
 
-PfsSimulator::WriterScope::WriterScope(PfsSimulator& pfs, int writers)
-    : pfs_(&pfs), writers_(writers) {
-  EBLCIO_CHECK_ARG(writers >= 1, "writer scope needs at least one writer");
-  const int now = pfs_->writers_.fetch_add(writers_) + writers_;
-  int peak = pfs_->writer_peak_.load();
-  while (peak < now && !pfs_->writer_peak_.compare_exchange_weak(peak, now)) {
+void PfsSimulator::register_writers(int n) {
+  const int now = writers_.fetch_add(n) + n;
+  int peak = writer_peak_.load();
+  while (peak < now && !writer_peak_.compare_exchange_weak(peak, now)) {
   }
 }
 
-PfsSimulator::WriterScope::~WriterScope() { pfs_->writers_.fetch_sub(writers_); }
+void PfsSimulator::register_readers(int n) const {
+  const int now = readers_.fetch_add(n) + n;
+  int peak = reader_peak_.load();
+  while (peak < now && !reader_peak_.compare_exchange_weak(peak, now)) {
+  }
+}
+
+PfsSimulator::WriterScope::WriterScope(PfsSimulator& pfs, int writers)
+    : pfs_(&pfs), writers_(writers) {
+  EBLCIO_CHECK_ARG(writers >= 1, "writer scope needs at least one writer");
+  pfs_->register_writers(writers_);
+}
+
+PfsSimulator::WriterScope::~WriterScope() {
+  pfs_->unregister_writers(writers_);
+}
 
 PfsSimulator::ReaderScope::ReaderScope(const PfsSimulator& pfs, int readers)
     : pfs_(&pfs), readers_(readers) {
   EBLCIO_CHECK_ARG(readers >= 1, "reader scope needs at least one reader");
-  const int now = pfs_->readers_.fetch_add(readers_) + readers_;
-  int peak = pfs_->reader_peak_.load();
-  while (peak < now && !pfs_->reader_peak_.compare_exchange_weak(peak, now)) {
-  }
+  pfs_->register_readers(readers_);
 }
 
-PfsSimulator::ReaderScope::~ReaderScope() { pfs_->readers_.fetch_sub(readers_); }
+PfsSimulator::ReaderScope::~ReaderScope() {
+  pfs_->unregister_readers(readers_);
+}
 
 }  // namespace eblcio

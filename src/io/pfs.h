@@ -72,6 +72,12 @@ class PfsSimulator {
 
   // Stateful incremental writer over append_file: remembers whether the
   // open cost has been paid and accumulates bytes/seconds across appends.
+  //
+  // Registry accounting: the stream counts toward concurrent_writers()
+  // only while data is actually moving — append() registers transiently
+  // for the duration of the transfer, and a transport endpoint holds
+  // engage() across its in-flight burst — so an open-but-idle stream never
+  // inflates contended pricing for its whole scope.
   class AppendStream {
    public:
     WriteResult append(std::span<const std::byte> data,
@@ -80,6 +86,24 @@ class PfsSimulator {
     PfsSimulator& pfs() const { return *pfs_; }
     std::size_t bytes_written() const { return bytes_; }
     double seconds_total() const { return seconds_; }
+
+    // Registers this stream as an active writer until disengage() (used by
+    // the sector transport while its rings hold in-flight descriptors).
+    // Both are idempotent; the destructor disengages.
+    void engage();
+    void disengage();
+    bool engaged() const { return engaged_; }
+
+    ~AppendStream() { disengage(); }
+    AppendStream(AppendStream&& o) noexcept
+        : pfs_(o.pfs_), path_(std::move(o.path_)), bytes_(o.bytes_),
+          seconds_(o.seconds_), engaged_(o.engaged_) {
+      o.pfs_ = nullptr;
+      o.engaged_ = false;
+    }
+    AppendStream(const AppendStream&) = delete;
+    AppendStream& operator=(const AppendStream&) = delete;
+    AppendStream& operator=(AppendStream&&) = delete;
 
    private:
     friend class PfsSimulator;
@@ -90,6 +114,7 @@ class PfsSimulator {
     std::string path_;
     std::size_t bytes_ = 0;
     double seconds_ = 0.0;
+    bool engaged_ = false;
   };
 
   // Opens (creating or truncating) `path` for incremental writes.
@@ -121,16 +146,37 @@ class PfsSimulator {
 
   // Stateful incremental reader over read_range: the open/metadata cost is
   // paid exactly once (on the first fetch), and bytes/seconds accumulate
-  // across fetches — the fetch mirror of AppendStream.
+  // across fetches — the fetch mirror of AppendStream, with the same
+  // in-flight-only registry accounting (read() registers transiently; a
+  // transport endpoint holds engage() across its burst).
   class ReadStream {
    public:
     RangeRead read(std::size_t offset, std::size_t length,
                    int concurrent_clients = 1);
     const std::string& path() const { return path_; }
+    const PfsSimulator& pfs() const { return *pfs_; }
     // File size when the stream was opened.
     std::size_t size() const { return size_; }
     std::size_t bytes_read() const { return bytes_; }
     double seconds_total() const { return seconds_; }
+
+    // Registers this stream as an active reader until disengage(); both
+    // idempotent, destructor disengages. See AppendStream::engage().
+    void engage();
+    void disengage();
+    bool engaged() const { return engaged_; }
+
+    ~ReadStream() { disengage(); }
+    ReadStream(ReadStream&& o) noexcept
+        : pfs_(o.pfs_), path_(std::move(o.path_)), size_(o.size_),
+          opened_(o.opened_), bytes_(o.bytes_), seconds_(o.seconds_),
+          engaged_(o.engaged_) {
+      o.pfs_ = nullptr;
+      o.engaged_ = false;
+    }
+    ReadStream(const ReadStream&) = delete;
+    ReadStream& operator=(const ReadStream&) = delete;
+    ReadStream& operator=(ReadStream&&) = delete;
 
    private:
     friend class PfsSimulator;
@@ -143,6 +189,7 @@ class PfsSimulator {
     bool opened_ = false;
     std::size_t bytes_ = 0;
     double seconds_ = 0.0;
+    bool engaged_ = false;
   };
 
   // Opens `path` for incremental ranged reads. Throws when absent.
@@ -222,6 +269,13 @@ class PfsSimulator {
   // open/metadata charge only when `pay_open`.
   double range_read_seconds(std::size_t bytes, std::size_t stripes_touched,
                             int concurrent_clients, bool pay_open) const;
+
+  // Registry bookkeeping shared by the scopes and the stream engagement:
+  // adjust the live count and CAS the high-water mark.
+  void register_writers(int n);
+  void unregister_writers(int n) { writers_.fetch_sub(n); }
+  void register_readers(int n) const;
+  void unregister_readers(int n) const { readers_.fetch_sub(n); }
 
   PfsConfig config_;
   mutable std::mutex mu_;  // guards files_ and next_ost_

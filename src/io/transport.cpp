@@ -1,0 +1,566 @@
+#include "io/transport.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/buffer_pool.h"
+#include "common/error.h"
+
+namespace eblcio {
+namespace {
+
+// Live contended client count at serve time. The serving endpoint holds
+// engage() on its stream while sectors are in flight, so the stream itself
+// is already in the registry — no +1 here.
+int live_clients(const PfsSimulator& pfs) {
+  return std::max(1, pfs.concurrent_writers() + pfs.concurrent_readers());
+}
+
+std::size_t sectors_for(std::size_t length, std::size_t sector_bytes) {
+  return length == 0 ? 1 : (length + sector_bytes - 1) / sector_bytes;
+}
+
+void validate_config(const TransportConfig& config) {
+  EBLCIO_CHECK_ARG(config.sector_bytes > 0, "sector size must be positive");
+  EBLCIO_CHECK_ARG(config.ring_depth >= 1, "ring depth must be >= 1");
+  EBLCIO_CHECK_ARG(config.channels >= 1, "transport needs >= 1 channel");
+}
+
+// Splits a WriteResult into its RPC/metadata share and its
+// bytes-over-bandwidth share.
+SectorRecord make_record(std::size_t message, std::size_t sector, int channel,
+                         int clients, const PfsSimulator::WriteResult& r) {
+  SectorRecord rec;
+  rec.message = message;
+  rec.sector = sector;
+  rec.channel = channel;
+  rec.bytes = r.bytes;
+  rec.clients = clients;
+  rec.xfer_s = r.effective_bw_bps > 0.0
+                   ? static_cast<double>(r.bytes) / r.effective_bw_bps
+                   : 0.0;
+  rec.rpc_s = std::max(0.0, r.seconds - rec.xfer_s);
+  return rec;
+}
+
+}  // namespace
+
+// --- SectorWriter ------------------------------------------------------------
+
+SectorWriter::SectorWriter(PfsSimulator::AppendStream& stream,
+                           TransportConfig config, Executor& ex)
+    : stream_(&stream), config_(config), drainer_(ex) {
+  validate_config(config_);
+  rings_.reserve(static_cast<std::size_t>(config_.channels));
+  for (int c = 0; c < config_.channels; ++c)
+    rings_.emplace_back(config_.ring_depth);
+}
+
+SectorWriter::~SectorWriter() {
+  // Let the drainer finish whatever is staged (or flushed, on error), then
+  // join it. The task swallows its own exceptions, so wait() cannot throw.
+  drainer_.wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+std::size_t SectorWriter::stage(std::size_t message,
+                                std::span<const std::byte> payload) {
+  const std::size_t nsec = sectors_for(payload.size(), config_.sector_bytes);
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < nsec; ++s) {
+    const std::size_t len =
+        std::min(config_.sector_bytes, payload.size() - off);
+    Pending ps;
+    ps.message = message;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (error_) std::rethrow_exception(error_);
+      ps.sector = next_sector_;
+      ps.channel = static_cast<int>(
+          next_sector_ % static_cast<std::size_t>(config_.channels));
+      SectorRing& ring = rings_[static_cast<std::size_t>(ps.channel)];
+      if (!ring.has_credit()) {
+        ++stats_.credit_stalls;
+        Executor::BlockingScope blocking;
+        credit_cv_.wait(lock,
+                        [&] { return ring.has_credit() || error_ != nullptr; });
+        if (error_) std::rethrow_exception(error_);
+      }
+      ring.take_credit();
+      ++next_sector_;
+      if (inflight_ == 0) stream_->engage();
+      ++inflight_;
+      ++stats_.sectors;
+      stats_.bytes += len;
+    }
+    // Copy into the pooled sector buffer outside the lock: this is the
+    // staging memcpy the drainer's append will ship.
+    ps.data = BufferPool::global().acquire(len);
+    ps.data.resize(len);
+    if (len > 0) std::memcpy(ps.data.data(), payload.data() + off, len);
+    off += len;
+    bool doorbell = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(ps));
+      if (!drainer_active_) {
+        drainer_active_ = true;
+        doorbell = true;
+      }
+    }
+    if (doorbell) drainer_.run([this] { drain_loop(); });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.messages;
+  return nsec;
+}
+
+void SectorWriter::flush_locked() {
+  while (!queue_.empty()) {
+    Pending& ps = queue_.front();
+    rings_[static_cast<std::size_t>(ps.channel)].retire();
+    --inflight_;
+    BufferPool::global().release(std::move(ps.data));
+    queue_.pop_front();
+  }
+}
+
+void SectorWriter::drain_loop() {
+  for (;;) {
+    Pending ps;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_) {
+        // A doorbell rung after the error landed: flush whatever was
+        // staged in the meantime so no buffer or credit leaks.
+        flush_locked();
+        if (inflight_ == 0) stream_->disengage();
+        drainer_active_ = false;
+        credit_cv_.notify_all();
+        done_cv_.notify_all();
+        return;
+      }
+      if (queue_.empty()) {
+        drainer_active_ = false;
+        return;
+      }
+      ps = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    SectorRecord rec;
+    bool failed = false;
+    try {
+      const int clients = live_clients(stream_->pfs());
+      const auto r = stream_->append(ps.data, clients);
+      rec = make_record(ps.message, ps.sector, ps.channel, clients, r);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = std::current_exception();
+      failed = true;
+    }
+    BufferPool::global().release(std::move(ps.data));
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_[static_cast<std::size_t>(ps.channel)].retire();
+    --inflight_;
+    if (failed) flush_locked();
+    else records_.push_back(rec);
+    if (inflight_ == 0) stream_->disengage();
+    credit_cv_.notify_all();
+    done_cv_.notify_all();
+    if (failed) {
+      drainer_active_ = false;
+      return;
+    }
+  }
+}
+
+void SectorWriter::drain() {
+  Executor::BlockingScope blocking;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return inflight_ == 0 || error_ != nullptr; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+TransportStats SectorWriter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int SectorWriter::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+// --- SectorReader ------------------------------------------------------------
+
+SectorReader::SectorReader(PfsSimulator::ReadStream& stream,
+                           TransportConfig config, Executor& ex)
+    : stream_(&stream), config_(config), drainer_(ex) {
+  validate_config(config_);
+  rings_.reserve(static_cast<std::size_t>(config_.channels));
+  for (int c = 0; c < config_.channels; ++c)
+    rings_.emplace_back(config_.ring_depth);
+}
+
+SectorReader::~SectorReader() {
+  drainer_.wait();
+  // Messages that were assembled (or aborted) but never awaited still own
+  // pooled buffers — give them back.
+  for (auto& [handle, msg] : messages_)
+    BufferPool::global().release(std::move(msg.data));
+  messages_.clear();
+}
+
+std::size_t SectorReader::request(std::size_t offset, std::size_t length) {
+  const std::size_t nsec = sectors_for(length, config_.sector_bytes);
+  std::size_t handle = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (error_) std::rethrow_exception(error_);
+    handle = next_message_++;
+    Message msg;
+    msg.data = BufferPool::global().acquire(length);
+    msg.data.resize(length);
+    msg.remaining = nsec;
+    messages_.emplace(handle, std::move(msg));
+  }
+  std::size_t dst = 0;
+  for (std::size_t s = 0; s < nsec; ++s) {
+    const std::size_t len = std::min(config_.sector_bytes, length - dst);
+    Pending ps;
+    ps.message = handle;
+    ps.offset = offset + dst;
+    ps.length = len;
+    ps.dst = dst;
+    dst += len;
+    bool doorbell = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (error_) std::rethrow_exception(error_);
+      ps.sector = next_sector_;
+      ps.channel = static_cast<int>(
+          next_sector_ % static_cast<std::size_t>(config_.channels));
+      SectorRing& ring = rings_[static_cast<std::size_t>(ps.channel)];
+      if (!ring.has_credit()) {
+        ++stats_.credit_stalls;
+        Executor::BlockingScope blocking;
+        credit_cv_.wait(lock,
+                        [&] { return ring.has_credit() || error_ != nullptr; });
+        if (error_) std::rethrow_exception(error_);
+      }
+      ring.take_credit();
+      ++next_sector_;
+      if (inflight_ == 0) stream_->engage();
+      ++inflight_;
+      ++stats_.sectors;
+      stats_.bytes += len;
+      queue_.push_back(ps);
+      if (!drainer_active_) {
+        drainer_active_ = true;
+        doorbell = true;
+      }
+    }
+    if (doorbell) drainer_.run([this] { drain_loop(); });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.messages;
+  return handle;
+}
+
+void SectorReader::flush_locked() {
+  // Credits/descriptors of unserved sectors come back; the assembly
+  // buffers stay with their messages (await/destructor releases them).
+  while (!queue_.empty()) {
+    Pending& ps = queue_.front();
+    rings_[static_cast<std::size_t>(ps.channel)].retire();
+    --inflight_;
+    queue_.pop_front();
+  }
+}
+
+void SectorReader::drain_loop() {
+  for (;;) {
+    Pending ps;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_) {
+        flush_locked();
+        if (inflight_ == 0) stream_->disengage();
+        drainer_active_ = false;
+        credit_cv_.notify_all();
+        done_cv_.notify_all();
+        return;
+      }
+      if (queue_.empty()) {
+        drainer_active_ = false;
+        return;
+      }
+      ps = queue_.front();
+      queue_.pop_front();
+    }
+    SectorRecord rec;
+    Bytes fetched;
+    bool failed = false;
+    try {
+      const int clients = live_clients(stream_->pfs());
+      auto r = stream_->read(ps.offset, ps.length, clients);
+      rec = make_record(ps.message, ps.sector, ps.channel, clients, r.cost);
+      fetched = std::move(r.data);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      error_ = std::current_exception();
+      failed = true;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    rings_[static_cast<std::size_t>(ps.channel)].retire();
+    --inflight_;
+    if (failed) {
+      flush_locked();
+      if (inflight_ == 0) stream_->disengage();
+      credit_cv_.notify_all();
+      done_cv_.notify_all();
+      drainer_active_ = false;
+      return;
+    }
+    auto it = messages_.find(ps.message);
+    if (it != messages_.end()) {
+      Message& msg = it->second;
+      if (ps.length > 0)
+        std::memcpy(msg.data.data() + ps.dst, fetched.data(), ps.length);
+      msg.wire_s += rec.rpc_s + rec.xfer_s;
+      if (--msg.remaining == 0) msg.done = true;
+    }
+    records_.push_back(rec);
+    if (inflight_ == 0) stream_->disengage();
+    credit_cv_.notify_all();
+    done_cv_.notify_all();
+    lock.unlock();
+    BufferPool::global().release(std::move(fetched));
+  }
+}
+
+Bytes SectorReader::await(std::size_t handle, double* wire_s_out) {
+  Executor::BlockingScope blocking;
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = messages_.find(handle);
+  EBLCIO_CHECK_ARG(it != messages_.end(),
+                   "await on an unknown or already-awaited message");
+  done_cv_.wait(lock,
+                [&] { return it->second.done || error_ != nullptr; });
+  if (error_ && !it->second.done) {
+    // The message can never assemble; its buffer goes back now so a
+    // caller that catches the error leaves the pool balanced.
+    BufferPool::global().release(std::move(it->second.data));
+    messages_.erase(it);
+    std::rethrow_exception(error_);
+  }
+  Message msg = std::move(it->second);
+  messages_.erase(it);
+  if (wire_s_out) *wire_s_out = msg.wire_s;
+  return std::move(msg.data);
+}
+
+void SectorReader::drain() {
+  Executor::BlockingScope blocking;
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return inflight_ == 0 || error_ != nullptr; });
+  if (error_) std::rethrow_exception(error_);
+}
+
+TransportStats SectorReader::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int SectorReader::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+// --- Timeline solvers --------------------------------------------------------
+
+namespace {
+
+// Shared wire-state for both solvers: per-channel service and completion
+// history (for ring credits) plus the serialized client link.
+struct WireState {
+  explicit WireState(const TransportConfig& config, double start)
+      : chan_free(static_cast<std::size_t>(config.channels), start),
+        chan_done(static_cast<std::size_t>(config.channels)),
+        link_free(start),
+        depth(static_cast<std::size_t>(config.ring_depth)) {}
+
+  // When does the credit for the next sector staged on `channel` free?
+  // The ring holds `depth` descriptors, so the k-th staged sector waits
+  // for the completion of sector k-depth on its channel.
+  double credit_free(int channel) const {
+    const auto& hist = chan_done[static_cast<std::size_t>(channel)];
+    if (hist.size() < depth) return 0.0;
+    return hist[hist.size() - depth];
+  }
+
+  // Serves one staged sector: the channel issues its RPCs once free, the
+  // transfer serializes on the shared client link in staging order.
+  double serve(const SectorRecord& s, double staged_at) {
+    const std::size_t c = static_cast<std::size_t>(s.channel);
+    const double start = std::max(staged_at, chan_free[c]);
+    const double xfer_start = std::max(start + s.rpc_s, link_free);
+    const double done = xfer_start + s.xfer_s;
+    chan_free[c] = done;
+    link_free = done;
+    chan_done[c].push_back(done);
+    return done;
+  }
+
+  std::vector<double> chan_free;
+  std::vector<std::vector<double>> chan_done;
+  double link_free;
+  std::size_t depth;
+};
+
+struct Interval {
+  double start = 0.0;
+  double end = 0.0;
+};
+
+// Peak and time-averaged in-flight occupancy of [staged, retired) spans.
+void sweep_occupancy(const std::vector<Interval>& spans, double horizon,
+                     double* mean_out, int* peak_out) {
+  *mean_out = 0.0;
+  *peak_out = 0;
+  if (spans.empty() || horizon <= 0.0) return;
+  std::vector<std::pair<double, int>> events;
+  events.reserve(spans.size() * 2);
+  double busy = 0.0;
+  for (const Interval& iv : spans) {
+    events.emplace_back(iv.start, +1);
+    events.emplace_back(iv.end, -1);
+    busy += iv.end - iv.start;
+  }
+  std::sort(events.begin(), events.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second < b.second;
+            });
+  int live = 0, peak = 0;
+  for (const auto& [t, d] : events) {
+    live += d;
+    peak = std::max(peak, live);
+  }
+  *mean_out = busy / horizon;
+  *peak_out = peak;
+}
+
+// Groups records by message ordinal; records arrive in staging order, so
+// each message's sectors are contiguous and in order.
+std::vector<std::vector<const SectorRecord*>> by_message(
+    std::span<const SectorRecord> sectors, std::size_t messages) {
+  std::vector<std::vector<const SectorRecord*>> out(messages);
+  for (const SectorRecord& s : sectors) {
+    EBLCIO_CHECK_ARG(s.message < messages,
+                     "sector record names a message past the pipeline");
+    out[s.message].push_back(&s);
+  }
+  return out;
+}
+
+}  // namespace
+
+WriteTimeline solve_write_timeline(const TransportConfig& config,
+                                   std::span<const SectorRecord> sectors,
+                                   std::span<const double> produce_s,
+                                   std::span<const double> stage_prep_s,
+                                   std::size_t queue_depth, double open_s) {
+  WriteTimeline out;
+  const std::size_t n = produce_s.size();
+  if (n == 0) return out;
+  EBLCIO_CHECK_ARG(stage_prep_s.size() == n,
+                   "stage_prep_s must match produce_s");
+  const auto msgs = by_message(sectors, n);
+
+  WireState wire(config, open_s);
+  std::vector<Interval> spans;
+  spans.reserve(sectors.size());
+  // fc: producer (compress) finish times, gated by the bounded channel the
+  // same way the blocking pipeline was — a slot frees when the consumer
+  // finishes *staging* message i-2-depth. tau: the staging cursor (the
+  // consumer opened the container first, so it starts at open_s).
+  std::vector<double> fc(n, 0.0), staged(n, 0.0);
+  double tau = open_s;
+  double wire_end = open_s;
+  for (std::size_t i = 0; i < n; ++i) {
+    double start = i > 0 ? fc[i - 1] : 0.0;
+    if (i >= queue_depth + 2) start = std::max(start, staged[i - 2 - queue_depth]);
+    else if (i == queue_depth + 1) start = std::max(start, open_s);
+    fc[i] = start + produce_s[i];
+
+    tau = std::max(tau, fc[i]);
+    const std::size_t nsec = msgs[i].size();
+    // The per-message container prep is paid while staging, spread across
+    // the message's sectors by byte share (equal when bytes are equal).
+    std::size_t msg_bytes = 0;
+    for (const SectorRecord* s : msgs[i]) msg_bytes += s->bytes;
+    for (const SectorRecord* s : msgs[i]) {
+      const double share =
+          msg_bytes > 0 ? static_cast<double>(s->bytes) /
+                              static_cast<double>(msg_bytes)
+                        : 1.0 / static_cast<double>(nsec);
+      const double credit_at = wire.credit_free(s->channel);
+      if (credit_at > tau) {
+        out.credit_stall_s += credit_at - tau;
+        tau = credit_at;
+      }
+      tau += stage_prep_s[i] * share;
+      const double done = wire.serve(*s, tau);
+      spans.push_back({tau, done});
+      wire_end = std::max(wire_end, done);
+    }
+    staged[i] = tau;
+  }
+  out.makespan_s = wire_end;
+  sweep_occupancy(spans, wire_end, &out.mean_inflight, &out.peak_inflight);
+  return out;
+}
+
+ReadTimeline solve_read_timeline(const TransportConfig& config,
+                                 std::span<const SectorRecord> sectors,
+                                 std::span<const double> consume_s,
+                                 std::size_t queue_depth, double open_s) {
+  ReadTimeline out;
+  const std::size_t n = consume_s.size();
+  if (n == 0) return out;
+  const auto msgs = by_message(sectors, n);
+
+  WireState wire(config, open_s);
+  std::vector<Interval> spans;
+  spans.reserve(sectors.size());
+  // tau: the request-staging cursor (requests are cheap descriptor writes,
+  // gated by credits and by the bounded handle queue — a slot frees when
+  // the consumer finishes message i-2-depth). fd: consumer finish times.
+  std::vector<double> fetched(n, 0.0), fd(n, 0.0);
+  double tau = open_s;
+  double wire_end = open_s;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= queue_depth + 2) tau = std::max(tau, fd[i - 2 - queue_depth]);
+    for (const SectorRecord* s : msgs[i]) {
+      const double credit_at = wire.credit_free(s->channel);
+      if (credit_at > tau) {
+        out.credit_stall_s += credit_at - tau;
+        tau = credit_at;
+      }
+      const double done = wire.serve(*s, tau);
+      spans.push_back({tau, done});
+      fetched[i] = std::max(fetched[i], done);
+      wire_end = std::max(wire_end, done);
+    }
+    const double consumer_free = i > 0 ? fd[i - 1] : 0.0;
+    fd[i] = std::max(fetched[i], consumer_free) + consume_s[i];
+  }
+  out.makespan_s = fd[n - 1];
+  sweep_occupancy(spans, wire_end, &out.mean_inflight, &out.peak_inflight);
+  return out;
+}
+
+}  // namespace eblcio
