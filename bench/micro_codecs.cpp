@@ -150,6 +150,17 @@ int main(int argc, char** argv) {
       "huffman_encode", reps, 0, static_cast<double>(syms.size()),
       [&] { return huffman_encode(syms, 65537).size(); }));
   rows.push_back(run_kernel(
+      "huffman_encode_reference", reps, 0, static_cast<double>(syms.size()),
+      [&] { return huffman_encode_reference(syms, 65537).size(); }));
+  rows.push_back(run_kernel(
+      "huffman_encode_lowent", reps, 0,
+      static_cast<double>(syms_lowent.size()),
+      [&] { return huffman_encode(syms_lowent, 64).size(); }));
+  rows.push_back(run_kernel(
+      "huffman_encode_reference_lowent", reps, 0,
+      static_cast<double>(syms_lowent.size()),
+      [&] { return huffman_encode_reference(syms_lowent, 64).size(); }));
+  rows.push_back(run_kernel(
       "huffman_decode", reps, 0, static_cast<double>(syms.size()),
       [&] { return huffman_decode(huff_blob).size(); }));
   rows.push_back(run_kernel(
@@ -219,6 +230,11 @@ int main(int argc, char** argv) {
   if (huffman_decode(huff_blob) != syms ||
       huffman_decode_reference(huff_blob) != syms) {
     std::fprintf(stderr, "FATAL: huffman round trip mismatch\n");
+    return 1;
+  }
+  if (huffman_encode_reference(syms, 65537) != huff_blob ||
+      huffman_encode_reference(syms_lowent, 64) != huff_blob_lowent) {
+    std::fprintf(stderr, "FATAL: encoder/reference blob mismatch\n");
     return 1;
   }
   if (huffman_decode(huff_blob_lowent) != syms_lowent ||

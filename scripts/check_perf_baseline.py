@@ -10,8 +10,10 @@ normalized throughputs:
     current_norm / baseline_norm  >=  1 - tolerance
 
 Paired gating kernels normalize against an in-binary reference of the same
-code path: huffman_decode against huffman_decode_reference and
-huffman_decode_lowent against huffman_decode_reference_lowent
+code path: huffman_decode against huffman_decode_reference,
+huffman_decode_lowent against huffman_decode_reference_lowent,
+huffman_encode against huffman_encode_reference, and
+huffman_encode_lowent against huffman_encode_reference_lowent
 (bench_micro_codecs), zone_decode (parallel full-field zone decode)
 against zone_decode_serial (bench_zone_scaling), and streamed_write
 (sector-ring transport write) against streamed_write_serial (the blocking
@@ -61,13 +63,15 @@ def main() -> int:
     ap.add_argument("--current", default="BENCH_codecs.json")
     ap.add_argument("--kernel", action="append", default=None,
                     help="gating kernel(s); default: huffman_decode, "
-                         "huffman_decode_lowent, sz2_roundtrip, lz_compress")
+                         "huffman_decode_lowent, huffman_encode, "
+                         "huffman_encode_lowent, sz2_roundtrip, lz_compress")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed normalized-throughput drop (default 0.25)")
     ap.add_argument("--update", action="store_true",
                     help="promote --current to --baseline and skip gating")
     args = ap.parse_args()
     gates = args.kernel or ["huffman_decode", "huffman_decode_lowent",
+                            "huffman_encode", "huffman_encode_lowent",
                             "sz2_roundtrip", "lz_compress"]
 
     if args.update:
@@ -85,6 +89,8 @@ def main() -> int:
     normalizers = {
         "huffman_decode": "huffman_decode_reference",
         "huffman_decode_lowent": "huffman_decode_reference_lowent",
+        "huffman_encode": "huffman_encode_reference",
+        "huffman_encode_lowent": "huffman_encode_reference_lowent",
         "zone_decode": "zone_decode_serial",
         "streamed_write": "streamed_write_serial",
     }
@@ -114,6 +120,12 @@ def main() -> int:
         if name == "memcpy" or name not in base or name not in cur:
             continue
         cal = normalizers.get(name, "memcpy")
+        # Ungated rows whose normalizer is absent on one side (e.g. a
+        # baseline predating a newly added reference row) are skipped
+        # rather than crashing the report; gated kernels already
+        # hard-failed above if either half of their pair is missing.
+        if cal not in base or cal not in cur:
+            continue
         ratio = norm(cur, name, cal) / norm(base, name, cal)
         gate = name in gates
         status = ""

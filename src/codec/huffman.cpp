@@ -275,10 +275,352 @@ bool decode_degenerate(const DecodeSetup& s,
   return false;
 }
 
+// --- Encoder fast path -----------------------------------------------------
+
+// Alphabets past this bound skip the pooled scratch (whose dense tables are
+// sized to the alphabet) and take the reference path; 2^17 covers the
+// SZ-family 65537-entry quantizer alphabet with headroom.
+constexpr std::uint32_t kEncoderMaxScratchAlphabet = 1u << 17;
+// Histogram lane counters are u32; a lane only ever sees every 4th stream
+// position, so counts stay in range while the stream is below 4 * 2^32.
+constexpr std::uint64_t kEncoderMaxSplitSymbols = std::uint64_t{1} << 33;
+constexpr int kHistLanes = 4;
+
+// Thread-local working set for huffman_encode: repeated encodes (per zone,
+// per slab) touch no allocator at all once warm. `lanes` keeps an all-zero
+// invariant between calls — the merge scan below zeroes exactly the entries
+// the histogram touched. The dense `emit` table is never cleared: entries
+// are written for every symbol present in the current stream before the
+// emit loop reads them, and absent symbols are never looked up.
+struct EncoderScratch {
+  struct EmitEntry {
+    std::uint32_t code = 0;  // bit-reversed, LSB-first
+    std::uint32_t len = 0;
+  };
+  std::vector<std::uint32_t> lanes;  // kHistLanes * alphabet split counters
+  std::vector<EmitEntry> emit;       // dense per-symbol emit table
+  // Compact per-present-symbol arrays (parallel; `present` ascending).
+  std::vector<std::uint32_t> present;
+  std::vector<std::uint64_t> freqs;
+  std::vector<std::uint8_t> lengths;
+  // Tree-build scratch.
+  std::vector<std::uint32_t> order;    // indices into `present`
+  std::vector<std::uint64_t> weights;  // Moffat node weights, then depths
+  std::vector<std::int32_t> parents;
+  std::vector<std::pair<std::uint8_t, std::uint32_t>> runs;  // RLE header
+
+  void ensure(std::uint32_t alphabet) {
+    const std::size_t lane_slots =
+        static_cast<std::size_t>(kHistLanes) * alphabet;
+    if (lanes.size() < lane_slots) lanes.resize(lane_slots, 0);
+    if (emit.size() < alphabet) emit.resize(alphabet);
+  }
+};
+
+EncoderScratch& encoder_scratch() {
+  thread_local EncoderScratch sc;
+  return sc;
+}
+
+// Heap-based length build over the compact (present, freqs) lists —
+// line-for-line the algorithm of huffman_code_lengths (same node insertion
+// order, same comparator, same Kraft fix-up), so its tie-break behavior is
+// exactly the one the frozen reference blobs were produced with. Writes
+// sc.lengths (parallel to sc.present).
+void heap_lengths_compact(EncoderScratch& sc) {
+  const std::size_t m = sc.present.size();
+  sc.lengths.assign(m, 0);
+  if (m == 1) {
+    sc.lengths[0] = 1;
+    return;
+  }
+  std::vector<TreeNode> nodes;
+  nodes.reserve(m * 2);
+  using Entry = std::pair<std::uint64_t, std::int32_t>;
+  auto cmp = [](const Entry& a, const Entry& b) { return a.first > b.first; };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  for (std::uint32_t i = 0; i < m; ++i) {
+    nodes.push_back({sc.freqs[i], -1, -1, i});
+    heap.emplace(sc.freqs[i], static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  while (heap.size() > 1) {
+    const auto a = heap.top();
+    heap.pop();
+    const auto b = heap.top();
+    heap.pop();
+    nodes.push_back({a.first + b.first, a.second, b.second, 0});
+    heap.emplace(a.first + b.first,
+                 static_cast<std::int32_t>(nodes.size() - 1));
+  }
+  struct Item {
+    std::int32_t node;
+    int depth;
+  };
+  std::vector<Item> stack{{heap.top().second, 0}};
+  while (!stack.empty()) {
+    const Item it = stack.back();
+    stack.pop_back();
+    const TreeNode& nd = nodes[it.node];
+    if (nd.left < 0) {
+      sc.lengths[nd.symbol] = static_cast<std::uint8_t>(std::max(it.depth, 1));
+    } else {
+      stack.push_back({nd.left, it.depth + 1});
+      stack.push_back({nd.right, it.depth + 1});
+    }
+  }
+  bool overflow = false;
+  for (std::size_t i = 0; i < m; ++i)
+    if (sc.lengths[i] > kMaxHuffmanBits) {
+      sc.lengths[i] = kMaxHuffmanBits;
+      overflow = true;
+    }
+  if (overflow) {
+    auto kraft = [&]() {
+      long double k = 0;
+      for (std::size_t i = 0; i < m; ++i)
+        k += std::pow(2.0L, -static_cast<int>(sc.lengths[i]));
+      return k;
+    };
+    std::vector<std::uint32_t> order(m);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return sc.freqs[a] < sc.freqs[b];
+              });
+    std::size_t i = 0;
+    while (kraft() > 1.0L) {
+      const std::uint32_t s = order[i % order.size()];
+      if (sc.lengths[s] < kMaxHuffmanBits) ++sc.lengths[s];
+      ++i;
+    }
+  }
+}
+
+// In-place two-queue (Moffat-style) length construction over the compact
+// lists: leaves sorted ascending by (freq, symbol) form one queue, merged
+// nodes append to a second in nondecreasing weight order, so every merge
+// pops the two smallest heads in O(1) — no heap, no per-merge log factor.
+//
+// Wire safety: the blob is frozen, and the reference builder's lengths
+// depend on std::priority_queue's pop order among equal weights. When no
+// merge step is tie-ambiguous — no *third* candidate's weight equals the
+// second pick's — the merged pair is forced as a multiset at every step,
+// so any correct builder produces the same tree depths (the two picks may
+// swap roles on an a==b tie, but both children sit at the same depth).
+// Each merge therefore checks the next head against the second pick and
+// returns false on a tie, and the caller falls back to the retained heap
+// builder: identical lengths by the forcing argument on this path,
+// identical by construction on the other. Depths past kMaxHuffmanBits
+// also bail out so the Kraft fix-up runs only in its original form.
+bool moffat_lengths(EncoderScratch& sc) {
+  const std::size_t m = sc.present.size();
+  sc.lengths.assign(m, 0);
+  if (m == 1) {
+    sc.lengths[0] = 1;
+    return true;
+  }
+  sc.order.resize(m);
+  std::iota(sc.order.begin(), sc.order.end(), 0u);
+  std::sort(sc.order.begin(), sc.order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (sc.freqs[a] != sc.freqs[b]) return sc.freqs[a] < sc.freqs[b];
+              return sc.present[a] < sc.present[b];
+            });
+  sc.weights.resize(2 * m - 1);
+  sc.parents.assign(2 * m - 1, -1);
+  for (std::size_t i = 0; i < m; ++i) sc.weights[i] = sc.freqs[sc.order[i]];
+  std::size_t leaf = 0, inter = m, next = m;
+  auto smallest = [&]() {
+    if (leaf < m && (inter >= next || sc.weights[leaf] <= sc.weights[inter]))
+      return leaf++;
+    return inter++;
+  };
+  for (std::size_t k = 0; k + 1 < m; ++k) {
+    const std::size_t a = smallest();
+    const std::size_t b = smallest();
+    std::uint64_t w3 = 0;
+    bool have3 = false;
+    if (leaf < m) {
+      w3 = sc.weights[leaf];
+      have3 = true;
+    }
+    if (inter < next && (!have3 || sc.weights[inter] < w3)) {
+      w3 = sc.weights[inter];
+      have3 = true;
+    }
+    if (have3 && w3 == sc.weights[b]) return false;  // tie-ambiguous merge
+    sc.weights[next] = sc.weights[a] + sc.weights[b];
+    sc.parents[a] = sc.parents[b] = static_cast<std::int32_t>(next);
+    ++next;
+  }
+  // A parent always has a higher node index than its children, so one
+  // reverse pass resolves every depth from the root. Weights are dead
+  // after construction; reuse the array as depth storage.
+  sc.weights[2 * m - 2] = 0;
+  for (std::size_t i = 2 * m - 2; i-- > 0;)
+    sc.weights[i] = sc.weights[static_cast<std::size_t>(sc.parents[i])] + 1;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (sc.weights[i] > kMaxHuffmanBits) return false;  // needs Kraft fix-up
+    sc.lengths[sc.order[i]] = static_cast<std::uint8_t>(sc.weights[i]);
+  }
+  return true;
+}
+
 }  // namespace
 
 Bytes huffman_encode(std::span<const std::uint32_t> symbols,
                      std::uint32_t alphabet_size) {
+  // Inputs outside the scratch bounds take the reference path, which emits
+  // byte-identical blobs (the overhaul is wire-frozen, so the two paths
+  // are interchangeable per input).
+  if (alphabet_size > kEncoderMaxScratchAlphabet ||
+      symbols.size() > kEncoderMaxSplitSymbols)
+    return huffman_encode_reference(symbols, alphabet_size);
+
+  // Bounds pre-scan: one vectorizable max/min reduction replaces the
+  // per-symbol branch the histogram loop used to carry; the same
+  // InvalidArgument fires on the same inputs. The min/max also bound the
+  // alphabet range the merge scan below must walk.
+  std::uint32_t max_sym = 0;
+  std::uint32_t min_sym = ~0u;
+  for (std::uint32_t s : symbols) {
+    max_sym = std::max(max_sym, s);
+    min_sym = std::min(min_sym, s);
+  }
+  EBLCIO_CHECK_ARG(symbols.empty() || max_sym < alphabet_size,
+                   "symbol outside alphabet");
+
+  EncoderScratch& sc = encoder_scratch();
+  sc.ensure(alphabet_size);
+
+  // Histogram with K-way split counters: consecutive stream positions
+  // count into distinct lanes, so a run of one repeated symbol no longer
+  // serializes on a store-to-load dependency against a single counter.
+  const std::size_t stride = alphabet_size;
+  std::uint32_t* l0 = sc.lanes.data();
+  std::uint32_t* l1 = l0 + stride;
+  std::uint32_t* l2 = l1 + stride;
+  std::uint32_t* l3 = l2 + stride;
+  const std::uint32_t* sp = symbols.data();
+  const std::size_t n = symbols.size();
+  std::size_t i = 0;
+  for (; i + kHistLanes <= n; i += kHistLanes) {
+    ++l0[sp[i]];
+    ++l1[sp[i + 1]];
+    ++l2[sp[i + 2]];
+    ++l3[sp[i + 3]];
+  }
+  for (; i < n; ++i) ++l0[sp[i]];
+
+  // Merge scan over the touched range only: sums the lanes into the
+  // compact frequency list and restores the lanes' all-zero invariant in
+  // the same pass, so no memset over the full alphabet ever runs.
+  sc.present.clear();
+  sc.freqs.clear();
+  if (n > 0) {
+    for (std::uint32_t s = min_sym; s <= max_sym; ++s) {
+      const std::uint64_t f = static_cast<std::uint64_t>(l0[s]) + l1[s] +
+                              l2[s] + l3[s];
+      l0[s] = l1[s] = l2[s] = l3[s] = 0;
+      if (f > 0) {
+        sc.present.push_back(s);
+        sc.freqs.push_back(f);
+      }
+    }
+  }
+
+  const std::size_t m = sc.present.size();
+  if (m > 0 && !moffat_lengths(sc)) heap_lengths_compact(sc);
+
+  // RLE header runs straight off the compact lists: gaps between present
+  // symbols are zero-length runs, adjacent equal lengths merge — exactly
+  // the maximal runs write_lengths_rle produces over the dense table.
+  sc.runs.clear();
+  auto emit_run = [&](std::uint8_t len, std::uint32_t count) {
+    if (!sc.runs.empty() && sc.runs.back().first == len)
+      sc.runs.back().second += count;
+    else
+      sc.runs.emplace_back(len, count);
+  };
+  std::uint32_t pos = 0;
+  for (std::size_t k = 0; k < m; ++k) {
+    if (sc.present[k] > pos) emit_run(0, sc.present[k] - pos);
+    emit_run(sc.lengths[k], 1);
+    pos = sc.present[k] + 1;
+  }
+  if (pos < alphabet_size) emit_run(0, alphabet_size - pos);
+
+  // Canonical code assignment over the compact lists; `present` ascends,
+  // so a stable sort by length yields the (length, symbol) order.
+  sc.order.resize(m);
+  std::iota(sc.order.begin(), sc.order.end(), 0u);
+  std::stable_sort(sc.order.begin(), sc.order.end(),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return sc.lengths[a] < sc.lengths[b];
+                   });
+  std::uint64_t code = 0;
+  int prev_len = 0;
+  std::size_t total_bits = 0;
+  for (std::uint32_t idx : sc.order) {
+    const int len = sc.lengths[idx];
+    code <<= (len - prev_len);
+    sc.emit[sc.present[idx]] = {
+        static_cast<std::uint32_t>(reverse_bits(code, len)),
+        static_cast<std::uint32_t>(len)};
+    ++code;
+    prev_len = len;
+    total_bits += sc.freqs[idx] * static_cast<std::size_t>(len);
+  }
+
+  // Exact-size pooled acquire from the length pass: header + payload are
+  // both known now, so low-entropy-but-long inputs no longer outgrow the
+  // old symbols/2 guess mid-emit (their RLE header alone could exceed it).
+  const std::size_t payload_bytes = (total_bits + 7) / 8;
+  const std::size_t header_bytes = 8 + 4 + 4 + 5 * sc.runs.size() + 8;
+  Bytes out = BufferPool::global().acquire(header_bytes + payload_bytes);
+  append_pod<std::uint64_t>(out, symbols.size());
+  append_pod<std::uint32_t>(out, alphabet_size);
+  append_pod<std::uint32_t>(out, static_cast<std::uint32_t>(sc.runs.size()));
+  for (auto [len, run] : sc.runs) {
+    append_pod<std::uint8_t>(out, len);
+    append_pod<std::uint32_t>(out, run);
+  }
+  append_pod<std::uint64_t>(out, payload_bytes);
+
+  // Batched emit directly into the framed blob: a local 64-bit accumulator
+  // packs multiple bit-reversed codes and flushes four bytes at a time —
+  // the encode-side mirror of the decoder's refill_acc discipline. The
+  // flush keeps nbits < 32 ahead of every symbol, so a maximal 32-bit code
+  // still fits the accumulator, and the byte stream is identical to
+  // BitWriter's LSB-first little-endian packing.
+  const std::size_t payload_off = out.size();
+  out.resize(payload_off + payload_bytes);
+  std::byte* dst = out.data() + payload_off;
+  std::size_t off = 0;
+  std::uint64_t acc = 0;
+  int nbits = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const EncoderScratch::EmitEntry e = sc.emit[sp[k]];
+    acc |= static_cast<std::uint64_t>(e.code) << nbits;
+    nbits += static_cast<int>(e.len);
+    if (nbits >= 32) {
+      const std::uint32_t w = static_cast<std::uint32_t>(acc);
+      std::memcpy(dst + off, &w, 4);
+      off += 4;
+      acc >>= 32;
+      nbits -= 32;
+    }
+  }
+  while (nbits > 0) {  // zero-padded tail, matching BitWriter::take()
+    dst[off++] = static_cast<std::byte>(acc & 0xFF);
+    acc >>= 8;
+    nbits -= 8;
+  }
+  return out;
+}
+
+Bytes huffman_encode_reference(std::span<const std::uint32_t> symbols,
+                               std::uint32_t alphabet_size) {
   std::vector<std::uint64_t> freqs(alphabet_size, 0);
   for (std::uint32_t s : symbols) {
     EBLCIO_CHECK_ARG(s < alphabet_size, "symbol outside alphabet");
@@ -286,8 +628,6 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
   }
   auto cc = assign_canonical(huffman_code_lengths(freqs));
 
-  // Pooled output: repeated encodes (per zone, per slab) reuse one
-  // allocation instead of growing a fresh vector each time.
   Bytes out = BufferPool::global().acquire(symbols.size() / 2 + 64);
   append_pod<std::uint64_t>(out, symbols.size());
   append_pod<std::uint32_t>(out, alphabet_size);
@@ -295,9 +635,7 @@ Bytes huffman_encode(std::span<const std::uint32_t> symbols,
 
   // Emit through precomputed bit-reversed codes: the per-occurrence cost is
   // one table load plus one word-buffered put_bits (reversing inside the
-  // emit loop would cost O(code length) per symbol occurrence). Code and
-  // length pack into one 8-byte entry — codes are at most kMaxHuffmanBits
-  // wide — so each emitted symbol touches a single table line.
+  // emit loop would cost O(code length) per symbol occurrence).
   struct EmitEntry {
     std::uint32_t code;  // bit-reversed, LSB-first
     std::uint32_t len;

@@ -33,8 +33,19 @@ std::vector<std::uint8_t> huffman_code_lengths(
     std::span<const std::uint64_t> freqs);
 
 // Encodes `symbols` (each < alphabet_size) into a self-describing blob.
+// Hot path: split-counter histogram, pooled thread-local scratch, two-queue
+// Moffat length construction, and a batched 64-bit emit accumulator (see
+// src/codec/README.md, "Encoder internals").
 Bytes huffman_encode(std::span<const std::uint32_t> symbols,
                      std::uint32_t alphabet_size);
+
+// Straight-line reference encoder over the same blob format: dense
+// histogram, heap-based length build, per-symbol BitWriter emit. Kept as
+// the differential-testing referee for huffman_encode — the two must
+// produce byte-identical blobs on every input — and as the fallback for
+// inputs outside the fast path's scratch bounds; not used on any hot path.
+Bytes huffman_encode_reference(std::span<const std::uint32_t> symbols,
+                               std::uint32_t alphabet_size);
 
 // Decodes a blob produced by huffman_encode (table-driven fast path).
 std::vector<std::uint32_t> huffman_decode(std::span<const std::byte> blob);

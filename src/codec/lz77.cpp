@@ -151,29 +151,37 @@ inline void consider_candidate(const std::byte* base, std::size_t n,
 // cache-resident. A gap that cannot be represented would land out of the
 // window for every position that still reaches its predecessor, so the
 // sentinel is exactly equivalent to following the link and failing the
-// window check.
+// window check. HeadIndex narrows the bucket-head table to the smallest
+// type the input length fits (128 KiB of heads instead of 256 KiB for the
+// common uint32_t case) — the head values are the same absolute positions
+// either way, so the search is unchanged.
+template <typename HeadIndex>
 Bytes compress_small_window(std::span<const std::byte> data,
                             const LzOptions& opt) {
   constexpr std::size_t kHashSize = 1u << 15;
-  constexpr std::size_t kNil = std::numeric_limits<std::size_t>::max();
+  constexpr HeadIndex kNil = std::numeric_limits<HeadIndex>::max();
   constexpr std::uint16_t kFarGap = 0xFFFF;  // no (reachable) predecessor
   const std::size_t n = data.size();
   const std::byte* base = data.data();
   const bool prefix_reject = opt.min_match >= 4;
 
-  std::vector<std::size_t> head(kHashSize, kNil);
+  std::vector<HeadIndex> head(kHashSize, kNil);
   std::vector<std::uint16_t> gap(n > 0 ? n : 1, kFarGap);
 
-  const auto link = [&](std::size_t p, std::size_t predecessor) {
+  const auto link = [&](std::size_t p, HeadIndex predecessor) {
     // Stored as gap-1: representable predecessor gaps are 1..65535, and a
     // larger gap is unreachable within the <= 65536-byte window anyway.
-    if (predecessor == kNil || p - predecessor > 0xFFFF) return;
-    gap[p] = static_cast<std::uint16_t>(p - predecessor - 1);
+    if (predecessor == kNil ||
+        p - static_cast<std::size_t>(predecessor) > 0xFFFF)
+      return;
+    gap[p] =
+        static_cast<std::uint16_t>(p - static_cast<std::size_t>(predecessor) -
+                                   1);
   };
   const auto insert = [&](std::size_t p) {
     const std::uint32_t h = hash4(base + p);
     link(p, head[h]);
-    head[h] = p;
+    head[h] = static_cast<HeadIndex>(p);
   };
   const auto find = [&](std::size_t pos, std::size_t* best_len,
                         std::size_t* best_dist) {
@@ -181,16 +189,18 @@ Bytes compress_small_window(std::span<const std::byte> data,
     std::uint32_t pos4;
     std::memcpy(&pos4, base + pos, 4);
     const std::size_t max_len = std::min<std::size_t>(kMaxMatch, n - pos);
-    std::size_t c = head[h];
+    std::size_t c = (head[h] == kNil) ? std::numeric_limits<std::size_t>::max()
+                                      : static_cast<std::size_t>(head[h]);
     int probes = opt.max_probes;
-    while (c != kNil && probes-- > 0 && pos - c <= opt.window) {
+    while (c != std::numeric_limits<std::size_t>::max() && probes-- > 0 &&
+           pos - c <= opt.window) {
       consider_candidate(base, n, pos, c, max_len, prefix_reject, pos4,
                          best_len, best_dist);
       const std::uint16_t g = gap[c];
-      c = (g == kFarGap) ? kNil : c - g - 1;
+      c = (g == kFarGap) ? std::numeric_limits<std::size_t>::max() : c - g - 1;
     }
     link(pos, head[h]);
-    head[h] = pos;
+    head[h] = static_cast<HeadIndex>(pos);
   };
   return tokenize(data, opt, find, insert);
 }
@@ -237,7 +247,11 @@ Bytes compress_indexed(std::span<const std::byte> data, const LzOptions& opt) {
 }  // namespace
 
 Bytes lz_compress(std::span<const std::byte> data, const LzOptions& opt) {
-  if (opt.window <= (1u << 16)) return compress_small_window(data, opt);
+  if (opt.window <= (1u << 16)) {
+    if (data.size() < std::numeric_limits<std::uint32_t>::max())
+      return compress_small_window<std::uint32_t>(data, opt);
+    return compress_small_window<std::uint64_t>(data, opt);
+  }
   if (data.size() < std::numeric_limits<std::uint32_t>::max())
     return compress_indexed<std::uint32_t>(data, opt);
   return compress_indexed<std::uint64_t>(data, opt);

@@ -119,12 +119,17 @@ class LinearQuantizer {
     // is unaffected: recover() never uses the reciprocal.
     const double qf = diff * inv_eb2_;
     if (!(std::fabs(qf) < static_cast<double>(radius_) - 1)) return 0;
-    const auto q =
-        static_cast<std::int64_t>(round_quotient_half_away(qf, diff, eb2_));
-    const T cast = static_cast<T>(pred + static_cast<double>(q) * eb2_);
+    // qd is an exact integer below 2^17, so using it directly (instead of
+    // an int64 round-trip) in the reconstruction is bit-identical — and
+    // keeps two conversions off the prediction-feedback dependency chain
+    // that serializes the Lorenzo sweep; the integer cast happens once,
+    // for the emitted code, off that chain.
+    const double qd = round_quotient_half_away(qf, diff, eb2_);
+    const T cast = static_cast<T>(pred + qd * eb2_);
     if (std::fabs(static_cast<double>(cast) - value) > eb_) return 0;
     *recon = static_cast<double>(cast);
-    return static_cast<std::uint32_t>(q + static_cast<std::int64_t>(radius_));
+    return static_cast<std::uint32_t>(static_cast<std::int64_t>(qd) +
+                                      static_cast<std::int64_t>(radius_));
   }
 
   // Batch quantization of a regression-predicted row: pred_k = row0 +

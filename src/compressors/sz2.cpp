@@ -32,23 +32,39 @@ Bytes Sz2Compressor::compress(const Field& field, const CompressOptions& opt) {
   header.requested_mode = opt.mode;
   header.requested_bound = opt.error_bound;
 
-  // Stage 1 (parallel over slabs): prediction + quantization.
-  const auto slabs = split_slabs(field, std::max(opt.threads, 1));
-  std::vector<BlockEncoding> encs(slabs.size());
-  parallel_for(slabs.size(), std::max(opt.threads, 1), [&](std::size_t i) {
-    encs[i] = block_compress(slabs[i], header.abs_error_bound,
+  // Stage 1 (parallel over slabs): prediction + quantization. A single
+  // slab is the whole field — compress it in place instead of paying
+  // split_slabs' full-field copy for a no-op split.
+  const int nslabs = static_cast<int>(
+      std::min<std::size_t>(field.shape().dim(0),
+                            static_cast<std::size_t>(std::max(opt.threads, 1))));
+  std::vector<BlockEncoding> encs(static_cast<std::size_t>(nslabs));
+  if (nslabs == 1) {
+    encs[0] = block_compress(field, header.abs_error_bound,
                              BlockPredictor::kLorenzoRegression,
                              QuantizerId::kLinearRecip, 0.0);
-  });
+  } else {
+    const auto slabs = split_slabs(field, nslabs);
+    parallel_for(slabs.size(), nslabs, [&](std::size_t i) {
+      encs[i] = block_compress(slabs[i], header.abs_error_bound,
+                               BlockPredictor::kLorenzoRegression,
+                               QuantizerId::kLinearRecip, 0.0);
+    });
+  }
 
   // Stage 2 (serial, as in the reference implementation): one Huffman +
-  // lossless pass over the concatenated code stream.
-  std::vector<std::uint32_t> all_codes;
-  std::size_t total = 0;
-  for (const auto& e : encs) total += e.codes.size();
-  all_codes.reserve(total);
-  for (const auto& e : encs)
-    all_codes.insert(all_codes.end(), e.codes.begin(), e.codes.end());
+  // lossless pass over the concatenated code stream. One slab's codes are
+  // already the whole stream; concatenate only when there are several.
+  std::vector<std::uint32_t> multi_codes;
+  if (encs.size() > 1) {
+    std::size_t total = 0;
+    for (const auto& e : encs) total += e.codes.size();
+    multi_codes.reserve(total);
+    for (const auto& e : encs)
+      multi_codes.insert(multi_codes.end(), e.codes.begin(), e.codes.end());
+  }
+  const std::vector<std::uint32_t>& all_codes =
+      encs.size() > 1 ? multi_codes : encs[0].codes;
 
   Bytes out;
   header.encode(out);

@@ -106,13 +106,21 @@ SweepStats run_sweep(
             ? n
             : std::min<std::size_t>(n,
                                     static_cast<std::size_t>(options.max_tasks));
+    // Consecutive cell blocks map to consecutive locality pods, so a
+    // zone/slab-ordered domain keeps each cell's working set on the pod
+    // that owns it (placement hint only — stealing still balances).
+    // Pod-interleaved submission feeds every pod from the first few
+    // blocks, so no pod starves into cross-stealing the early batch.
+    const int npods = ex.pods();
     TaskGroup group(ex);
-    for (std::size_t t = 0; t < ntasks; ++t) {
+    for (std::size_t t : pod_interleaved_order(ntasks, npods)) {
       const std::size_t lo = n * t / ntasks;
       const std::size_t hi = n * (t + 1) / ntasks;
-      group.run([&eval_one, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) eval_one(i);
-      });
+      group.run(
+          [&eval_one, lo, hi] {
+            for (std::size_t i = lo; i < hi; ++i) eval_one(i);
+          },
+          static_cast<int>(t * static_cast<std::size_t>(npods) / ntasks));
     }
     group.wait();
   }

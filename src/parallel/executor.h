@@ -40,6 +40,14 @@ struct ExecutorStats {
   std::uint64_t pod_remote_steals = 0;  // steals that crossed a pod boundary
   std::uint64_t help_runs = 0;     // tasks run inline by a waiting thread
   std::uint64_t submit_waits = 0;  // submissions throttled by backpressure
+  // Pod-hinted tasks, classified where they *ran*: local means on a worker
+  // of the hinted pod — or inline on a waiting off-pool thread, which owns
+  // the fan-out's buffers and so never crosses a memory node. Remote means
+  // a worker of another pod executed it (a cross-pod steal moved it).
+  // Every hinted task lands in exactly one bucket, so
+  // placed_local + placed_remote equals the number of hinted submissions.
+  std::uint64_t placed_local = 0;
+  std::uint64_t placed_remote = 0;
   int workers = 0;                 // workers currently alive
   int pods = 0;                    // locality pods the workers split into
   double avg_task_seconds() const {
@@ -101,6 +109,10 @@ class Executor {
   struct Task {
     std::function<void()> fn;
     TaskGroup* group = nullptr;
+    // Locality pod this task's working set lives on; -1 = no preference.
+    // Hinted tasks are *placed* onto a worker of that pod (see submit);
+    // stealing is unchanged, so work conservation holds regardless.
+    int pod_hint = -1;
   };
 
   struct Worker {
@@ -111,6 +123,10 @@ class Executor {
 
   static int detect_pods();    // NUMA node count from sysfs; 1 on failure
   int pod_of_slot(int slot) const;
+  // Contiguous base-worker slot range [begin, end) forming pod `pod`
+  // (non-empty: pods are clamped to the base worker count).
+  int pod_slot_begin(int pod) const;
+  int pod_slot_end(int pod) const;
   bool spawn_worker_locked();  // requires spawn_mu_; false at the hard cap
   void worker_loop(Worker* self, int slot);
   void run_task(Task& task);
@@ -169,6 +185,11 @@ class Executor {
   std::atomic<std::uint64_t> pod_remote_steals_{0};
   std::atomic<std::uint64_t> help_runs_{0};
   std::atomic<std::uint64_t> submit_waits_{0};
+  std::atomic<std::uint64_t> placed_local_{0};
+  std::atomic<std::uint64_t> placed_remote_{0};
+
+  // Round-robin cursor per pod for hinted placement (allocated to npods_).
+  std::unique_ptr<std::atomic<std::uint32_t>[]> pod_rr_;
 };
 
 // A set of tasks submitted together and awaited together. wait() helps the
@@ -191,6 +212,13 @@ class TaskGroup {
   // (backpressure), unless called from a pool worker (local push).
   void run(std::function<void()> fn);
 
+  // Submits one task with a locality-pod placement hint: the task is
+  // enqueued onto a worker of pod `pod_hint % pods()` so its working set
+  // stays on the memory node that owns it. pod_hint < 0 = no preference.
+  // Hinted placement bypasses the injection queue (like a local push), so
+  // callers should use it for bounded fan-outs, not unbounded streams.
+  void run(std::function<void()> fn, int pod_hint);
+
   // Waits for every submitted task, executing this group's queued tasks
   // while waiting. Rethrows the first captured exception.
   void wait();
@@ -210,10 +238,23 @@ class TaskGroup {
 
 // Runs body(i) for i in [0, n) as executor tasks and waits. At most
 // max_tasks tasks are created (consecutive-index blocks); max_tasks <= 0
-// means one task per index. The calling thread helps execute.
+// means one task per index. The calling thread helps execute. Blocks map
+// to locality pods deterministically (block t -> pod t*pods/ntasks) and
+// are submitted pod-interleaved so every pod is fed from the first few
+// submissions.
 void parallel_for(std::size_t n, int max_tasks,
                   const std::function<void(std::size_t)>& body,
                   Executor& ex = Executor::global());
+
+// Submission order for a hinted fan-out of `ntasks` blocks over `npods`
+// pods (block t hinted to pod t*npods/ntasks): round-robins across the
+// pods' block ranges, so every pod receives a task within the first
+// `npods` submissions. Emitting one pod's whole batch before the next
+// pod's first task would let the idle pods' workers wake to empty deques
+// and cross-steal the early batch, defeating placement at the start of
+// every fan-out. Identity order when npods <= 1.
+std::vector<std::size_t> pod_interleaved_order(std::size_t ntasks,
+                                               int npods);
 
 // Bounded single-producer/single-consumer-friendly channel used to connect
 // pipeline stages with backpressure. push() blocks while the channel holds

@@ -2,10 +2,13 @@
 // steady state of the streamed pipelines that ride on it.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
+#include "codec/huffman.h"
 #include "common/buffer_pool.h"
+#include "common/rng.h"
 #include "compressors/compressor.h"
 #include "compressors/zone.h"
 #include "core/pipeline.h"
@@ -147,6 +150,33 @@ TEST(BufferPool, ZoneCompressSteadyStateIsAllocationFree) {
   EXPECT_GT(s.acquires, 0u);
   EXPECT_EQ(s.acquires, s.hits);  // steady state: no per-zone allocations
   hot.recycle();
+}
+
+TEST(BufferPool, HuffmanEncodeSteadyStateIsAllocationFree) {
+  // The hot encoder keeps its histogram/emit scratch in thread_local
+  // storage and sizes the output acquire exactly (header bound + payload
+  // bits), so a re-encode loop must reach the pool's steady state: after a
+  // warm lap, every output-buffer acquire is a hit and nothing else
+  // allocates per call.
+  Rng rng(2);
+  std::vector<std::uint32_t> syms(1 << 16);
+  for (auto& s : syms) {
+    const double g = rng.normal() * 12.0;
+    s = static_cast<std::uint32_t>(std::clamp(32768.0 + g, 0.0, 65536.0));
+  }
+
+  BufferPool& pool = BufferPool::global();
+  Bytes warm = huffman_encode(syms, 65537);
+  pool.release(std::move(warm));
+  pool.reset_stats();
+
+  for (int lap = 0; lap < 16; ++lap) {
+    Bytes blob = huffman_encode(syms, 65537);
+    pool.release(std::move(blob));
+  }
+  const auto s = pool.stats();
+  EXPECT_GT(s.acquires, 0u);
+  EXPECT_EQ(s.acquires, s.hits);  // steady state: no encoder allocations
 }
 
 }  // namespace

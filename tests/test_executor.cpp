@@ -224,6 +224,68 @@ TEST(Executor, PoddedPoolCompletesFanOutAndAccountsSteals) {
                 (after.pod_remote_steals - before.pod_remote_steals));
 }
 
+TEST(Executor, PodHintedPlacementIsConserved) {
+  // Every hinted task is classified exactly once at run time, as pod-local
+  // or pod-remote — whether it ran on a worker of the hinted pod, was
+  // stolen cross-pod, or was help-run inline by the waiting submitter.
+  Executor ex(4, 4096, 2);
+  const auto before = ex.stats();
+  std::atomic<int> count{0};
+  const int n = 3000;
+  TaskGroup group(ex);
+  for (int i = 0; i < n; ++i)
+    group.run([&] { count.fetch_add(1); }, i % 2);
+  group.wait();
+  EXPECT_EQ(count.load(), n);
+  const auto after = ex.stats();
+  EXPECT_EQ((after.placed_local - before.placed_local) +
+                (after.placed_remote - before.placed_remote),
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Executor, PodHintedPlacementIsMostlyLocalUnderPlentifulWork) {
+  // With every worker kept busy by its own deque, cross-pod stealing is
+  // rare, so hinted tasks overwhelmingly run inside their hinted pod. This
+  // is the property the chunked compressors rely on: slab i's task lands
+  // on the pod that owns slab i's buffers.
+  Executor ex(4, 4096, 2);
+  const auto before = ex.stats();
+  std::atomic<unsigned> sink{0};
+  const int n = 4000;
+  TaskGroup group(ex);
+  for (int i = 0; i < n; ++i)
+    group.run(
+        [&, i] {
+          // A dependent LCG chain the compiler cannot fold: each task
+          // costs a few microseconds, so deques build depth and workers
+          // stay fed from their own pod instead of starving into steals.
+          unsigned x = static_cast<unsigned>(i) + 1;
+          for (int k = 0; k < 20000; ++k) x = x * 1664525u + 1013904223u;
+          sink.fetch_add(x, std::memory_order_relaxed);
+        },
+        i % 2);
+  group.wait();
+  const auto after = ex.stats();
+  const std::uint64_t local = after.placed_local - before.placed_local;
+  const std::uint64_t remote = after.placed_remote - before.placed_remote;
+  ASSERT_EQ(local + remote, static_cast<std::uint64_t>(n));
+  EXPECT_GE(local, static_cast<std::uint64_t>(n) * 9 / 10)
+      << "local " << local << " remote " << remote;
+}
+
+TEST(Executor, UnhintedTasksDoNotCountAsPlacements) {
+  Executor ex(2, 4096, 2);
+  const auto before = ex.stats();
+  std::atomic<int> count{0};
+  TaskGroup group(ex);
+  for (int i = 0; i < 500; ++i) group.run([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 500);
+  const auto after = ex.stats();
+  EXPECT_EQ(after.placed_local, before.placed_local);
+  EXPECT_EQ(after.placed_remote, before.placed_remote);
+}
+
 TEST(Executor, SinglePodClassifiesAllStealsLocal) {
   Executor ex(3, 4096, 1);
   std::atomic<int> count{0};

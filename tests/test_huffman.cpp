@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <random>
 
 #include "codec/huffman.h"
 #include "common/error.h"
@@ -91,6 +92,23 @@ TEST(Huffman, UniformBytesRoundTrip) {
 TEST(Huffman, RejectsSymbolOutsideAlphabet) {
   EXPECT_THROW(huffman_encode(std::vector<std::uint32_t>{300}, 256),
                InvalidArgument);
+}
+
+TEST(Huffman, RejectsOutOfAlphabetSymbolAtAnyPosition) {
+  // The hot encoder validates with a pre-scan rather than a per-symbol
+  // branch inside the histogram loop; a bad symbol must be caught whether
+  // it sits at the front, the middle, or the back of the stream — and the
+  // reference encoder must agree.
+  std::vector<std::uint32_t> base(999, 5);
+  for (const std::size_t pos : {std::size_t{0}, base.size() / 2,
+                                base.size() - 1}) {
+    std::vector<std::uint32_t> syms = base;
+    syms[pos] = 256;
+    EXPECT_THROW(huffman_encode(syms, 256), InvalidArgument)
+        << "pos " << pos;
+    EXPECT_THROW(huffman_encode_reference(syms, 256), InvalidArgument)
+        << "pos " << pos;
+  }
 }
 
 TEST(Huffman, RejectsTruncatedBlob) {
@@ -347,6 +365,107 @@ TEST(HuffmanDifferential, ForgedCountTruncatesInsidePairRun) {
     ASSERT_EQ(fast, slow) << "forged " << forged;
     for (std::size_t i = 0; i < forged; ++i)
       ASSERT_EQ(fast[i], syms[i]) << "forged " << forged << " idx " << i;
+  }
+}
+
+// --- Hot encoder vs reference encoder (differential) -----------------------
+
+// The split-counter/batched-emit encoder must produce blobs BYTE-IDENTICAL
+// to the retained reference encoder — not merely decodable. Byte equality
+// is what keeps the 17 pinned reference blobs frozen: the hot path's
+// Moffat length pass falls back to the reference heap builder on any
+// tie-ambiguous merge, so the two paths can never canonicalize differently.
+
+void expect_encoders_agree(const std::vector<std::uint32_t>& syms,
+                           std::uint32_t alphabet, const char* what) {
+  const Bytes hot = huffman_encode(syms, alphabet);
+  const Bytes ref = huffman_encode_reference(syms, alphabet);
+  ASSERT_EQ(hot, ref) << what;
+  ASSERT_EQ(huffman_decode(hot), syms) << what;
+}
+
+TEST(HuffmanEncoderDifferential, DegenerateInputs) {
+  expect_encoders_agree({}, 16, "empty");
+  expect_encoders_agree(std::vector<std::uint32_t>(1000, 7), 256,
+                        "single symbol");
+  expect_encoders_agree({5}, 6, "one element");
+}
+
+TEST(HuffmanEncoderDifferential, LowEntropyGeometric) {
+  Rng rng(6);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 100000; ++i) {
+    std::uint32_t v = 0;
+    while (v < 63 && rng.next_double() < 0.5) ++v;
+    syms.push_back(v);
+  }
+  expect_encoders_agree(syms, 64, "geometric");
+}
+
+TEST(HuffmanEncoderDifferential, QuantizerAlphabetNormal) {
+  // The SZ-shaped 65537-entry alphabet: exactly the stream the sz2 gate
+  // times, and the largest alphabet the pooled scratch serves.
+  Rng rng(2);
+  std::vector<std::uint32_t> syms;
+  for (int i = 0; i < 50000; ++i) {
+    const double g = rng.normal() * 12.0;
+    syms.push_back(static_cast<std::uint32_t>(
+        std::clamp(32768.0 + g, 0.0, 65536.0)));
+  }
+  expect_encoders_agree(syms, 65537, "quantizer normal");
+}
+
+TEST(HuffmanEncoderDifferential, FibonacciDepthForcesKraftFixup) {
+  // Fibonacci frequencies drive depth past kMaxHuffmanBits, so the Moffat
+  // pass bails to the reference heap builder and its Kraft fix-up; the
+  // fallback must still be byte-identical.
+  const int n = 48;
+  Rng rng(17);
+  std::vector<std::uint32_t> syms;
+  std::uint64_t a = 1, b = 1;
+  for (int i = 0; i < n; ++i) {
+    for (std::uint64_t k = 0; k < std::min<std::uint64_t>(a, 400); ++k)
+      syms.push_back(static_cast<std::uint32_t>(i));
+    const std::uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  std::shuffle(syms.begin(), syms.end(),
+               std::mt19937_64(rng.next_below(1u << 30)));
+  expect_encoders_agree(syms, n, "fibonacci depth");
+}
+
+TEST(HuffmanEncoderDifferential, PowerOfTwoFrequenciesStayOnMoffatPath) {
+  // Distinct power-of-two counts: every merge is tie-free, so this stream
+  // exercises the in-place two-queue path end to end (no fallback).
+  std::vector<std::uint32_t> syms;
+  for (int s = 0; s < 12; ++s)
+    for (int k = 0; k < (1 << s); ++k)
+      syms.push_back(static_cast<std::uint32_t>(s * 3));
+  Rng rng(91);
+  std::shuffle(syms.begin(), syms.end(), std::mt19937_64(rng.next_below(999)));
+  expect_encoders_agree(syms, 64, "power-of-two freqs");
+}
+
+TEST(HuffmanEncoderDifferential, RandomSweep) {
+  Rng rng(424242);
+  for (int round = 0; round < 60; ++round) {
+    const std::uint32_t alphabet = 2 + rng.next_below(70000);
+    const int count = static_cast<int>(rng.next_below(6000));
+    std::vector<std::uint32_t> syms;
+    syms.reserve(count);
+    // Alternate skew regimes: uniform, concentrated, tie-heavy (many
+    // count-1 symbols, the regime most likely to hit the Moffat fallback).
+    const int regime = round % 3;
+    for (int i = 0; i < count; ++i) {
+      std::uint32_t s = rng.next_below(alphabet);
+      if (regime == 1) s = s % (1 + alphabet / 32);
+      syms.push_back(s);
+    }
+    const Bytes hot = huffman_encode(syms, alphabet);
+    const Bytes ref = huffman_encode_reference(syms, alphabet);
+    ASSERT_EQ(hot, ref) << "round " << round << " alphabet " << alphabet;
+    ASSERT_EQ(huffman_decode(hot), syms) << "round " << round;
   }
 }
 
